@@ -1,0 +1,282 @@
+package flexpass
+
+import (
+	"fmt"
+
+	"flexpass/internal/harness"
+	"flexpass/internal/metrics"
+	"flexpass/internal/netem"
+	"flexpass/internal/sim"
+	"flexpass/internal/topo"
+	"flexpass/internal/transport"
+	"flexpass/internal/transport/dctcp"
+	"flexpass/internal/transport/expresspass"
+	flexpasstp "flexpass/internal/transport/flexpass"
+	"flexpass/internal/transport/homa"
+	"flexpass/internal/transport/layering"
+	"flexpass/internal/transport/phost"
+	"flexpass/internal/units"
+	"flexpass/internal/workload"
+)
+
+// Re-exported core types. External users interact with these through the
+// façade; see the internal packages for full documentation.
+type (
+	// Time is a simulated instant/duration in picoseconds.
+	Time = sim.Time
+	// Rate is a link or pacing rate in bits per second.
+	Rate = units.Rate
+	// ByteSize is a data volume in bytes.
+	ByteSize = units.ByteSize
+	// Flow is a transport flow with live statistics.
+	Flow = transport.Flow
+	// Scheme selects a deployment strategy (§6.2).
+	Scheme = harness.Scheme
+	// Scenario describes one large-scale simulation run.
+	Scenario = harness.Scenario
+	// Result carries a run's collected metrics.
+	Result = harness.Result
+	// DeploymentPoint is one (scheme, deployment%) measurement.
+	DeploymentPoint = harness.DeploymentPoint
+	// FlowRecord is a finished flow's statistics snapshot.
+	FlowRecord = metrics.FlowRecord
+	// CDF is a flow-size distribution.
+	CDF = workload.CDF
+)
+
+// Common units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Kbps        = units.Kbps
+	Mbps        = units.Mbps
+	Gbps        = units.Gbps
+	KB          = units.KB
+	MB          = units.MB
+)
+
+// Deployment schemes.
+const (
+	SchemeNaive    = harness.SchemeNaive
+	SchemeOWF      = harness.SchemeOWF
+	SchemeLayering = harness.SchemeLayering
+	SchemeFlexPass = harness.SchemeFlexPass
+)
+
+// Workload distributions.
+var (
+	WebSearch     = workload.WebSearch
+	CacheFollower = workload.CacheFollower
+	DataMining    = workload.DataMining
+	Hadoop        = workload.Hadoop
+)
+
+// NewScenario returns the paper's §6.2 configuration; full selects the
+// 192-host fabric, otherwise a scaled-down Clos.
+func NewScenario(full bool) Scenario { return harness.BaseScenario(full) }
+
+// Run executes a scenario.
+func Run(sc Scenario) *Result { return harness.Run(sc) }
+
+// Sweep runs every (scheme, deployment) combination in parallel.
+func Sweep(base Scenario, schemes []Scheme, deployments []float64) []DeploymentPoint {
+	return harness.Sweep(base, schemes, deployments)
+}
+
+// TestbedKind selects a small fabric shape.
+type TestbedKind int
+
+// Testbed shapes.
+const (
+	// SingleSwitch connects all hosts to one switch (the paper's §6.1
+	// testbed shape).
+	SingleSwitch TestbedKind = iota
+	// DumbbellPairs builds n/2 sender hosts and n/2 receiver hosts joined
+	// by a bottleneck link at the fabric line rate.
+	DumbbellPairs
+)
+
+// TestbedConfig parameterizes a Testbed.
+type TestbedConfig struct {
+	Kind     TestbedKind
+	Hosts    int     // total hosts
+	LinkRate Rate    // default 10Gbps
+	WQ       float64 // FlexPass queue weight, default 0.5
+	Seed     int64
+}
+
+// Testbed is a small fabric with the FlexPass switch configuration, for
+// hand-built experiments: start flows by transport name and run the
+// clock. All hosts share one switch (or a dumbbell) configured with the
+// paper's three-queue layout.
+type Testbed struct {
+	Eng    *sim.Engine
+	Fabric *topo.Fabric
+
+	cfg      TestbedConfig
+	agents   []*transport.Agent
+	arbiters []*phost.Arbiter // lazily created per host, for "phost" flows
+	nextID   uint64
+	flows    []*Flow
+}
+
+// NewTestbed builds a testbed.
+func NewTestbed(cfg TestbedConfig) *Testbed {
+	if cfg.Hosts == 0 {
+		cfg.Hosts = 3
+	}
+	if cfg.LinkRate == 0 {
+		cfg.LinkRate = 10 * Gbps
+	}
+	if cfg.WQ == 0 {
+		cfg.WQ = 0.5
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	spec := topo.Spec{WQ: cfg.WQ}
+	params := topo.Params{
+		LinkRate:  cfg.LinkRate,
+		LinkDelay: 2 * Microsecond,
+		HostDelay: 1 * Microsecond,
+		SwitchBuf: 4500 * KB,
+		BufAlpha:  0.25,
+		Profile:   topo.FlexPassProfile(spec),
+	}
+	var fab *topo.Fabric
+	switch cfg.Kind {
+	case SingleSwitch:
+		fab = topo.SingleSwitch(eng, cfg.Hosts, params)
+	case DumbbellPairs:
+		fab = topo.Dumbbell(eng, cfg.Hosts/2, cfg.Hosts-cfg.Hosts/2, cfg.LinkRate, params)
+	default:
+		panic("flexpass: unknown testbed kind")
+	}
+	tb := &Testbed{Eng: eng, Fabric: fab, cfg: cfg}
+	for i := 0; i < cfg.Hosts; i++ {
+		tb.agents = append(tb.agents, transport.NewAgent(eng, fab.Net.Host(i)))
+	}
+	tb.arbiters = make([]*phost.Arbiter, cfg.Hosts)
+	return tb
+}
+
+// arbiter returns host i's pHost token arbiter, creating it on first use.
+func (tb *Testbed) arbiter(i int) *phost.Arbiter {
+	if tb.arbiters[i] == nil {
+		tb.arbiters[i] = phost.NewArbiter(tb.Eng, tb.Fabric.Net.Host(i), tb.cfg.LinkRate)
+	}
+	return tb.arbiters[i]
+}
+
+// SetLossRate injects random non-congestion loss on the switch egress
+// toward host dst (both data and, if reverse is true, the host's own NIC
+// egress: ACKs and credits too).
+func (tb *Testbed) SetLossRate(dst int, rate float64, reverse bool) {
+	sw := tb.Fabric.Net.Switches[0]
+	sw.Ports()[dst].SetLossRate(rate)
+	if reverse {
+		tb.Fabric.Net.Host(dst).NIC().SetLossRate(rate)
+	}
+}
+
+// StartFlow begins a flow of size bytes from host src to host dst using
+// the named transport: "flexpass", "dctcp", "expresspass", "layering", or
+// "homa". The returned Flow exposes live statistics (RxBytes, FCT, ...).
+func (tb *Testbed) StartFlow(transportName string, src, dst int, size int64) *Flow {
+	fl := tb.newFlow(transportName, src, dst, size, tb.Eng.Now())
+	tb.startNow(fl)
+	return fl
+}
+
+// StartFlowAt schedules a flow to begin at an absolute simulated time.
+func (tb *Testbed) StartFlowAt(at Time, transportName string, src, dst int, size int64) *Flow {
+	fl := tb.newFlow(transportName, src, dst, size, at)
+	tb.Eng.At(at, func() { tb.startNow(fl) })
+	return fl
+}
+
+func (tb *Testbed) newFlow(transportName string, src, dst int, size int64, at Time) *Flow {
+	tb.nextID++
+	fl := &Flow{
+		ID:        tb.nextID,
+		Src:       tb.agents[src],
+		Dst:       tb.agents[dst],
+		Size:      size,
+		Start:     at,
+		Transport: transportName,
+		Legacy:    transportName == "dctcp",
+	}
+	tb.flows = append(tb.flows, fl)
+	return fl
+}
+
+func (tb *Testbed) startNow(fl *Flow) {
+	rate := tb.cfg.LinkRate
+	switch fl.Transport {
+	case "flexpass":
+		flexpasstp.Start(tb.Eng, fl, flexpasstp.DefaultConfig(
+			expresspass.DefaultPacerConfig(netem.CreditRateFor(rate, tb.cfg.WQ))))
+	case "dctcp":
+		dctcp.Start(tb.Eng, fl, dctcp.LegacyConfig())
+	case "expresspass":
+		expresspass.Start(tb.Eng, fl, expresspass.DefaultConfig(
+			expresspass.DefaultPacerConfig(netem.CreditRateFor(rate, 1.0))))
+	case "layering":
+		layering.Start(tb.Eng, fl, expresspass.DefaultPacerConfig(netem.CreditRateFor(rate, 1.0)))
+	case "homa":
+		// The testbed uses the FlexPass queue layout, so remap Homa's
+		// classes away from the tiny rate-limited credit queue: data in
+		// Q1, grants in Q1, nothing in Q0. (Homa-lite has no loss
+		// recovery; it is a throughput baseline.)
+		cfg := homa.DefaultConfig(rate)
+		cfg.UnschedClass = netem.ClassFlex
+		cfg.SchedClass = netem.ClassLegacy
+		cfg.GrantClass = netem.ClassFlex
+		homa.Start(tb.Eng, fl, cfg)
+	case "phost":
+		dstIdx := -1
+		for i, a := range tb.agents {
+			if a == fl.Dst {
+				dstIdx = i
+			}
+		}
+		phost.Start(tb.Eng, fl, tb.arbiter(dstIdx), phost.DefaultConfig())
+	default:
+		panic(fmt.Sprintf("flexpass: unknown transport %q", fl.Transport))
+	}
+}
+
+// Run advances the simulation until the given absolute time.
+func (tb *Testbed) Run(until Time) { tb.Eng.Run(until) }
+
+// Flows returns every flow started on the testbed.
+func (tb *Testbed) Flows() []*Flow { return tb.flows }
+
+// Figure drivers (see EXPERIMENTS.md).
+var (
+	// Fig1a: ExpressPass starving DCTCP on a dumbbell.
+	Fig1a = harness.Fig1a
+	// Fig1b: 16 HOMA flows starving 16 DCTCP flows.
+	Fig1b = harness.Fig1b
+	// Fig7: FlexPass sub-flow throughput shares on the testbed.
+	Fig7 = harness.Fig7
+	// Fig8: incast tail FCT for DCTCP/ExpressPass/FlexPass.
+	Fig8 = harness.Fig8
+	// Fig9: starvation-time comparison.
+	Fig9 = harness.Fig9
+	// Fig5a / Fig5b: flow-splitting and queueing ablations.
+	Fig5a = harness.Fig5a
+	Fig5b = harness.Fig5b
+	// Fig10 / Fig11: deployment sweeps (background / mixed traffic).
+	Fig10 = harness.Fig10
+	Fig11 = harness.Fig11
+	// Fig14: load sensitivity; Fig15and16: workload sweep.
+	Fig14      = harness.Fig14
+	Fig15and16 = harness.Fig15and16
+	// Fig17 / Fig18: selective-dropping threshold and w_q trade-offs.
+	Fig17 = harness.Fig17
+	Fig18 = harness.Fig18
+)

@@ -1,0 +1,124 @@
+// Command flexplot renders the CSV files cmd/experiments writes as ASCII
+// charts in the terminal.
+//
+//	flexplot results/fig1a.csv              # time series (Gbps over ms)
+//	flexplot -x deployment -y p99_small_us -group scheme results/fig10_12_13.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"flexpass/internal/plot"
+)
+
+var (
+	xCol   = flag.String("x", "", "x column (default: first column)")
+	yCol   = flag.String("y", "", "y column (default: all remaining numeric columns)")
+	group  = flag.String("group", "", "split series by this column's values")
+	title  = flag.String("title", "", "chart title (default: file name)")
+	width  = flag.Int("w", 72, "chart width")
+	height = flag.Int("h", 20, "chart height")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: flexplot [flags] <file.csv>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		fatal(err)
+	}
+	if len(rows) < 2 {
+		fatal(fmt.Errorf("%s: no data rows", path))
+	}
+	header := rows[0]
+	col := func(name string) int {
+		for i, h := range header {
+			if h == name {
+				return i
+			}
+		}
+		fatal(fmt.Errorf("column %q not in %v", name, header))
+		return -1
+	}
+
+	xi := 0
+	if *xCol != "" {
+		xi = col(*xCol)
+	}
+	chartTitle := *title
+	if chartTitle == "" {
+		chartTitle = path
+	}
+	ch := &plot.Chart{Title: chartTitle, XLabel: header[xi], Width: *width, Height: *height}
+
+	if *group != "" {
+		gi := col(*group)
+		yi := col(*yCol)
+		series := map[string]*plot.Series{}
+		var order []string
+		for _, row := range rows[1:] {
+			x, errX := strconv.ParseFloat(row[xi], 64)
+			y, errY := strconv.ParseFloat(row[yi], 64)
+			if errX != nil || errY != nil {
+				continue
+			}
+			key := row[gi]
+			s, ok := series[key]
+			if !ok {
+				s = &plot.Series{Name: key}
+				series[key] = s
+				order = append(order, key)
+			}
+			s.X = append(s.X, x)
+			s.Y = append(s.Y, y)
+		}
+		for _, k := range order {
+			ch.Series = append(ch.Series, *series[k])
+		}
+		ch.YLabel = *yCol
+	} else {
+		// One series per numeric column (or just -y).
+		for yi, name := range header {
+			if yi == xi {
+				continue
+			}
+			if *yCol != "" && name != *yCol {
+				continue
+			}
+			s := plot.Series{Name: name}
+			for _, row := range rows[1:] {
+				x, errX := strconv.ParseFloat(row[xi], 64)
+				y, errY := strconv.ParseFloat(row[yi], 64)
+				if errX != nil || errY != nil {
+					continue
+				}
+				s.X = append(s.X, x)
+				s.Y = append(s.Y, y)
+			}
+			if len(s.X) > 0 {
+				ch.Series = append(ch.Series, s)
+			}
+		}
+	}
+	if err := ch.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flexplot:", err)
+	os.Exit(1)
+}

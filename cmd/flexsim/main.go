@@ -1,0 +1,126 @@
+// Command flexsim runs one large-scale FlexPass deployment simulation and
+// prints a metrics summary.
+//
+// Example:
+//
+//	flexsim -scheme flexpass -deployment 0.5 -load 0.5 -workload websearch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flexpass/internal/harness"
+	"flexpass/internal/metrics"
+	"flexpass/internal/sim"
+	"flexpass/internal/units"
+	"flexpass/internal/workload"
+)
+
+func main() {
+	var (
+		scheme     = flag.String("scheme", "flexpass", "deployment scheme: naive, owf, layering, flexpass, flexpass-altq, flexpass-rc3")
+		deployment = flag.Float64("deployment", 0.5, "fraction of FlexPass/ExpressPass-enabled racks")
+		load       = flag.Float64("load", 0.5, "target core (ToR uplink) utilization")
+		wl         = flag.String("workload", "websearch", "flow size distribution: websearch, cachefollower, datamining, hadoop")
+		seed       = flag.Int64("seed", 1, "random seed")
+		durMS      = flag.Float64("duration", 15, "flow arrival window, milliseconds")
+		incast     = flag.Float64("incast", 0, "foreground incast volume fraction (0 disables)")
+		wq         = flag.Float64("wq", 0.5, "FlexPass queue weight")
+		full       = flag.Bool("full", false, "use the paper's 192-host Clos instead of the scaled fabric")
+		queues     = flag.Bool("queues", false, "sample Q1 occupancy at ToR uplinks")
+		traceIn    = flag.String("trace", "", "replay a CSV flow trace instead of generating traffic")
+		traceOut   = flag.String("dump-trace", "", "write the generated workload as a CSV trace and exit")
+	)
+	flag.Parse()
+
+	sc := harness.BaseScenario(*full)
+	sc.Scheme = harness.Scheme(*scheme)
+	sc.Deployment = *deployment
+	sc.Load = *load
+	sc.Seed = *seed
+	sc.WQ = *wq
+	sc.Duration = sim.Time(*durMS * float64(sim.Millisecond))
+	sc.IncastFraction = *incast
+	sc.SampleQueues = *queues
+	sc.Workload = workload.ByName(*wl)
+	if sc.Workload == nil {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(1)
+	}
+
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		flows, err := workload.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sc.TraceFlows = flows
+	}
+	if *traceOut != "" {
+		rackOf := make([]int, sc.Clos.Hosts())
+		for i := range rackOf {
+			rackOf[i] = i / sc.Clos.HostsPerTor
+		}
+		bg := workload.BackgroundParams{
+			CDF:            sc.Workload,
+			Hosts:          sc.Clos.Hosts(),
+			RackOf:         rackOf,
+			UplinkCapacity: 0,
+			Load:           sc.Load,
+			Duration:       sc.Duration,
+		}
+		// Reuse the harness's capacity computation by a direct formula:
+		uplinks := sc.Clos.Hosts() / sc.Clos.HostsPerTor * sc.Clos.AggPerPod
+		bg.UplinkCapacity = sc.LinkRate * units.Rate(uplinks)
+		flows := bg.Generate(harness.WorkloadRand(sc.Seed))
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := workload.WriteTrace(f, flows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %d flows to %s\n", len(flows), *traceOut)
+		return
+	}
+
+	res := harness.Run(sc)
+	c := &res.Flows
+	small := metrics.Small()
+	legacy, upgraded := small, small
+	legacy.Legacy = metrics.Bool(true)
+	upgraded.Legacy = metrics.Bool(false)
+
+	fmt.Printf("scheme=%s deployment=%.0f%% load=%.0f%% workload=%s seed=%d\n",
+		sc.Scheme, sc.Deployment*100, sc.Load*100, sc.Workload.Name, sc.Seed)
+	fmt.Printf("flows: %d total, %d incomplete, %d small (<100kB)\n",
+		len(c.Records), c.Incomplete(), c.Count(small))
+	fmt.Printf("overall avg FCT:          %v\n", metrics.Mean(c.FCTs(metrics.Filter{})))
+	fmt.Printf("99%%-ile FCT (<100kB):     %v\n", metrics.Percentile(c.FCTs(small), 0.99))
+	fmt.Printf("  legacy traffic:         %v\n", metrics.Percentile(c.FCTs(legacy), 0.99))
+	fmt.Printf("  upgraded traffic:       %v\n", metrics.Percentile(c.FCTs(upgraded), 0.99))
+	fmt.Printf("FCT stddev (<100kB):      legacy %v / upgraded %v\n",
+		metrics.StdDev(c.FCTs(legacy)), metrics.StdDev(c.FCTs(upgraded)))
+	to := c.SumInt(metrics.Filter{}, func(r metrics.FlowRecord) int { return r.Timeouts })
+	fmt.Printf("timeouts: %d, selective drops: %d, credit drops: %d, data drops: %d\n",
+		to, res.DropsRed, res.DropsCredit, res.DropsOther)
+	if sc.SampleQueues {
+		fmt.Printf("Q1 occupancy: avg %dB (red %dB), p90 %dB (red %dB)\n",
+			res.QueueAvg, res.QueueRedAvg, res.QueueP90, res.QueueRedP90)
+	}
+	if sc.Scheme == harness.SchemeOWF {
+		fmt.Printf("oracle queue weight: %.3f\n", res.OracleWQ)
+	}
+	fmt.Printf("events processed: %d\n", res.Events)
+}

@@ -1,0 +1,38 @@
+// Fault tolerance: the paper's §4.3 failure discussion — FlexPass's
+// proactive sub-flow never sees congestive loss, but switch failures can
+// still corrupt packets. This example injects random non-congestion loss
+// on the path and compares how FlexPass, ExpressPass, and DCTCP recover:
+// the credit loop repairs FlexPass and ExpressPass losses within ~an RTT,
+// while DCTCP falls back to duplicate-ACK recovery and, for tail losses,
+// full RTOs.
+package main
+
+import (
+	"fmt"
+
+	"flexpass"
+)
+
+func main() {
+	fmt.Printf("%-8s %-14s %-12s %-8s %-8s\n", "loss", "transport", "FCT", "retx", "RTOs")
+	for _, loss := range []float64{0.001, 0.01, 0.05} {
+		for _, tp := range []string{"dctcp", "expresspass", "flexpass", "phost"} {
+			fct, retx, rtos, ok := run(tp, loss)
+			if !ok {
+				fmt.Printf("%-8.3f %-14s %-12s\n", loss, tp, "INCOMPLETE")
+				continue
+			}
+			fmt.Printf("%-8.3f %-14s %-12v %-8d %-8d\n", loss, tp, fct, retx, rtos)
+		}
+	}
+}
+
+func run(tp string, loss float64) (flexpass.Time, int, int, bool) {
+	tb := flexpass.NewTestbed(flexpass.TestbedConfig{Hosts: 2, LinkRate: 10 * flexpass.Gbps})
+	// Random loss on the data direction and the reverse (ACK/credit)
+	// direction alike — a silently failing switch.
+	tb.SetLossRate(1, loss, true)
+	fl := tb.StartFlow(tp, 0, 1, 5_000_000)
+	tb.Run(2 * flexpass.Second)
+	return fl.FCT(), fl.Retransmits, fl.Timeouts, fl.Completed
+}

@@ -1,0 +1,3 @@
+module flexpass
+
+go 1.22

@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+
+	"flexpass/internal/metrics"
+)
+
+// RunPooled executes the scenario once per seed and pools every flow
+// record before computing statistics, so tail percentiles are taken over
+// the union of flows rather than averaged across runs — the statistically
+// honest way to tighten single-seed noise in the deployment figures.
+func RunPooled(sc Scenario, seeds []int64) DeploymentPoint {
+	if len(seeds) == 0 {
+		seeds = []int64{sc.Seed}
+	}
+	results := make([]*Result, len(seeds))
+	par := runtime.GOMAXPROCS(0)
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, seed := range seeds {
+		wg.Add(1)
+		go func(i int, seed int64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			s := sc
+			s.Seed = seed
+			results[i] = Run(s)
+		}(i, seed)
+	}
+	wg.Wait()
+
+	// Merge every run into one synthetic result and reduce it.
+	merged := results[0]
+	for _, r := range results[1:] {
+		merged.Flows.Records = append(merged.Flows.Records, r.Flows.Records...)
+		merged.DropsRed += r.DropsRed
+		merged.DropsCredit += r.DropsCredit
+		merged.DropsOther += r.DropsOther
+		merged.Events += r.Events
+		// Queue stats: keep the worst observed percentile.
+		if r.QueueP90 > merged.QueueP90 {
+			merged.QueueP90 = r.QueueP90
+		}
+		if r.QueueAvg > merged.QueueAvg {
+			merged.QueueAvg = r.QueueAvg
+		}
+	}
+	return reducePoint(sc, merged)
+}
+
+// SweepPooled is Sweep with per-point seed pooling.
+func SweepPooled(base Scenario, schemes []Scheme, deployments []float64, seeds []int64) []DeploymentPoint {
+	var out []DeploymentPoint
+	for _, s := range schemes {
+		for _, d := range deployments {
+			sc := base
+			sc.Scheme = s
+			sc.Deployment = d
+			out = append(out, RunPooled(sc, seeds))
+		}
+	}
+	return out
+}
+
+// reducePoint converts a (possibly merged) result into a DeploymentPoint.
+func reducePoint(sc Scenario, res *Result) DeploymentPoint {
+	c := &res.Flows
+	small := metrics.Small()
+	smallLegacy, smallNew := small, small
+	smallLegacy.Legacy = metrics.Bool(true)
+	smallNew.Legacy = metrics.Bool(false)
+
+	pt := DeploymentPoint{
+		Scheme:     sc.Scheme,
+		Deployment: sc.Deployment,
+		Load:       sc.Load,
+		WQ:         sc.WQ,
+		Workload:   sc.Workload.Name,
+
+		P99Small:       metrics.Percentile(c.FCTs(small), 0.99),
+		AvgAll:         metrics.Mean(c.FCTs(metrics.Filter{})),
+		P99SmallLegacy: metrics.Percentile(c.FCTs(smallLegacy), 0.99),
+		P99SmallNew:    metrics.Percentile(c.FCTs(smallNew), 0.99),
+		StdSmallLegacy: metrics.StdDev(c.FCTs(smallLegacy)),
+		StdSmallNew:    metrics.StdDev(c.FCTs(smallNew)),
+
+		QueueAvg:    res.QueueAvg,
+		QueueP90:    res.QueueP90,
+		QueueRedAvg: res.QueueRedAvg,
+		QueueRedP90: res.QueueRedP90,
+
+		Timeouts:   c.SumInt(metrics.Filter{}, func(r metrics.FlowRecord) int { return r.Timeouts }),
+		Incomplete: c.Incomplete(),
+		OracleWQ:   res.OracleWQ,
+		DropsRed:   res.DropsRed,
+		DropsCred:  res.DropsCredit,
+		DropsOther: res.DropsOther,
+	}
+
+	var reorderSum, reorderN float64
+	var dupSegs, rxBytes int64
+	for _, r := range c.Records {
+		if !r.Legacy {
+			reorderSum += float64(r.MaxReorderB)
+			reorderN++
+		}
+		dupSegs += int64(r.Redundant)
+		rxBytes += r.RxBytes
+	}
+	if reorderN > 0 {
+		pt.AvgReorderKB = reorderSum / reorderN / 1000
+	}
+	if rxBytes > 0 {
+		pt.RedundantFrac = float64(dupSegs*1460) / float64(rxBytes)
+	}
+	return pt
+}

@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"testing"
+
+	"flexpass/internal/sim"
+)
+
+func TestRunPooledMergesSeeds(t *testing.T) {
+	sc := miniBase()
+	sc.Duration = 3 * sim.Millisecond
+	single := RunPoint(sc)
+	pooled := RunPooled(sc, []int64{1, 2, 3})
+	if pooled.Incomplete > 0 {
+		t.Fatalf("%d incomplete flows pooled", pooled.Incomplete)
+	}
+	// The pooled tail comes from ~3x the flows; it must be a plausible
+	// FCT, and with seed 1 included it cannot be below every single-seed
+	// statistic's reach.
+	if pooled.P99Small == 0 || pooled.AvgAll == 0 {
+		t.Fatal("pooled statistics missing")
+	}
+	if pooled.P99Small > 10*single.P99Small && single.P99Small > 0 {
+		t.Fatalf("pooled p99 %v wildly off single-seed %v", pooled.P99Small, single.P99Small)
+	}
+}
+
+func TestRunPooledSingleSeedMatchesRunPoint(t *testing.T) {
+	sc := miniBase()
+	sc.Duration = 3 * sim.Millisecond
+	a := RunPoint(sc)
+	b := RunPooled(sc, []int64{sc.Seed})
+	if a.P99Small != b.P99Small || a.AvgAll != b.AvgAll {
+		t.Fatalf("single-seed pooled (%v, %v) != RunPoint (%v, %v)",
+			b.P99Small, b.AvgAll, a.P99Small, a.AvgAll)
+	}
+}
+
+func TestSweepPooledShapes(t *testing.T) {
+	sc := miniBase()
+	sc.Duration = 2 * sim.Millisecond
+	pts := SweepPooled(sc, []Scheme{SchemeFlexPass}, []float64{0, 1}, []int64{1, 2})
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[0].Deployment != 0 || pts[1].Deployment != 1 {
+		t.Fatal("deployment ordering wrong")
+	}
+}

@@ -1,0 +1,347 @@
+// Package harness runs the paper's experiments: it builds a fabric with a
+// scheme's queue profile, generates workloads, assigns flows to legacy or
+// upgraded transports by per-rack deployment, runs the simulation, and
+// collects metrics. One driver per paper figure lives in figures.go and
+// micro.go.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flexpass/internal/metrics"
+	"flexpass/internal/netem"
+	"flexpass/internal/sim"
+	"flexpass/internal/topo"
+	"flexpass/internal/transport"
+	"flexpass/internal/transport/dctcp"
+	"flexpass/internal/transport/expresspass"
+	"flexpass/internal/transport/flexpass"
+	"flexpass/internal/transport/layering"
+	"flexpass/internal/units"
+	"flexpass/internal/workload"
+)
+
+// Scheme is a deployment strategy from §6.2.
+type Scheme string
+
+// The compared schemes.
+const (
+	SchemeNaive        Scheme = "naive"         // ExpressPass sharing the legacy queue, full-rate credits
+	SchemeOWF          Scheme = "owf"           // oracle weighted fair queueing
+	SchemeLayering     Scheme = "layering"      // LY: window-gated ExpressPass in the shared queue
+	SchemeFlexPass     Scheme = "flexpass"      // the paper's design
+	SchemeFlexPassAltQ Scheme = "flexpass-altq" // §4.3 ablation: reactive sub-flow in Q2
+	SchemeFlexPassRC3  Scheme = "flexpass-rc3"  // §4.3 ablation: RC3-style flow splitting
+)
+
+// Schemes lists the four §6.2 deployment schemes in paper order.
+var Schemes = []Scheme{SchemeNaive, SchemeOWF, SchemeLayering, SchemeFlexPass}
+
+// Scenario fully describes one simulation run.
+type Scenario struct {
+	Seed int64
+
+	// Fabric.
+	Clos      topo.ClosParams
+	LinkRate  units.Rate
+	LinkDelay sim.Time
+	HostDelay sim.Time
+	SwitchBuf units.ByteSize
+	BufAlpha  float64
+
+	// Scheme and its knobs.
+	Scheme Scheme
+	WQ     float64   // FlexPass queue weight (w_q); FlexPass is insensitive to it
+	Spec   topo.Spec // threshold overrides (selective drop / ECN)
+
+	// Workload.
+	Workload       *workload.CDF
+	Load           float64
+	Deployment     float64 // fraction of FlexPass/ExpressPass-enabled racks
+	IncastFraction float64 // foreground incast volume fraction (0 = none)
+	IncastFlowSize int64
+	Duration       sim.Time // arrival window
+	Drain          sim.Time // extra time for in-flight flows to finish
+
+	// SampleQueues enables Q1 occupancy sampling at ToR uplinks.
+	SampleQueues bool
+
+	// DisableProRetx ablates FlexPass's proactive retransmission (§4.2).
+	DisableProRetx bool
+
+	// Reactive selects FlexPass's reactive-sub-flow algorithm ("" = the
+	// paper's DCTCP; "reno" = the §4.3 loss-based extension).
+	Reactive flexpass.ReactiveCC
+
+	// TraceFlows, when non-nil, replaces the generated workload entirely
+	// (replay of an exported or external trace). Host indices must be
+	// valid for the configured fabric.
+	TraceFlows []workload.FlowSpec
+
+	// PoolSeeds, when non-empty, makes Sweep/RunPoint pool flow records
+	// across one run per seed before computing statistics (tail
+	// percentiles over the union of flows).
+	PoolSeeds []int64
+}
+
+// BaseScenario returns the §6.2 configuration at the given scale. Scale 1
+// is the paper's fabric (192 hosts); smaller scales shrink the fabric and
+// default duration so the full suite runs quickly.
+func BaseScenario(full bool) Scenario {
+	sc := Scenario{
+		Seed:           1,
+		Clos:           topo.SmallClos,
+		LinkRate:       40 * units.Gbps,
+		LinkDelay:      2 * sim.Microsecond,
+		HostDelay:      1 * sim.Microsecond,
+		SwitchBuf:      4500 * units.KB,
+		BufAlpha:       0.25,
+		Scheme:         SchemeFlexPass,
+		WQ:             0.5,
+		Workload:       workload.WebSearch,
+		Load:           0.5,
+		Deployment:     0.5,
+		IncastFlowSize: 8000,
+		Duration:       15 * sim.Millisecond,
+		Drain:          60 * sim.Millisecond,
+	}
+	if full {
+		sc.Clos = topo.PaperClos
+		sc.Duration = 50 * sim.Millisecond
+		sc.Drain = 100 * sim.Millisecond
+	}
+	return sc
+}
+
+// Result carries a run's outputs.
+type Result struct {
+	Scenario    Scenario
+	Flows       metrics.Collector
+	OracleWQ    float64 // the weight the oWF scheme used
+	QueueAvg    int64   // Q1 occupancy stats (when sampled)
+	QueueP90    int64
+	QueueRedAvg int64
+	QueueRedP90 int64
+	DropsRed    int64  // selective drops across the fabric
+	DropsCredit int64  // credits dropped by rate limiters (the ExpressPass feedback signal)
+	DropsOther  int64  // data drops from buffer exhaustion
+	Events      uint64 // engine events processed (perf visibility)
+}
+
+// WorkloadRand returns the deterministic random stream Run uses for
+// workload generation at the given seed, so traces exported out-of-band
+// (cmd/flexsim -dump-trace) replay identically.
+func WorkloadRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed*7919 + 17))
+}
+
+// rackAssignment computes host→rack without building the fabric.
+func rackAssignment(c topo.ClosParams) []int {
+	rackOf := make([]int, c.Hosts())
+	for i := range rackOf {
+		rackOf[i] = i / c.HostsPerTor
+	}
+	return rackOf
+}
+
+// Run executes the scenario and returns collected metrics.
+func Run(sc Scenario) *Result {
+	eng := sim.NewEngine(sc.Seed)
+	rackOf := rackAssignment(sc.Clos)
+	hosts := sc.Clos.Hosts()
+	racks := hosts / sc.Clos.HostsPerTor
+	enabled := workload.DeployRacks(racks, sc.Deployment)
+
+	// Generate workload first: the oWF oracle weight needs the true
+	// upgraded-traffic fraction.
+	wlRand := WorkloadRand(sc.Seed)
+	uplinks := racks * sc.Clos.AggPerPod // ToR uplink count
+	bg := workload.BackgroundParams{
+		CDF:            sc.Workload,
+		Hosts:          hosts,
+		RackOf:         rackOf,
+		UplinkCapacity: units.Rate(int64(sc.LinkRate) * int64(uplinks)),
+		Load:           sc.Load,
+		Duration:       sc.Duration,
+	}
+	var flows []workload.FlowSpec
+	if sc.TraceFlows != nil {
+		flows = sc.TraceFlows
+	} else {
+		flows = bg.Generate(wlRand)
+	}
+	if sc.TraceFlows == nil && sc.IncastFraction > 0 {
+		bgBytesPerSec := sc.Load * float64(bg.UplinkCapacity) / 8
+		inc := workload.IncastParams{
+			Hosts:          hosts,
+			FlowsPerSender: 4,
+			FlowSize:       sc.IncastFlowSize,
+			EventRate:      workload.EventRateFor(sc.IncastFraction, bgBytesPerSec, hosts, 4, sc.IncastFlowSize),
+			Duration:       sc.Duration,
+		}
+		flows = workload.Merge(flows, inc.Generate(wlRand))
+	}
+
+	upgraded := func(f workload.FlowSpec) bool {
+		return enabled[rackOf[f.Src]] && enabled[rackOf[f.Dst]]
+	}
+	var upBytes, totBytes float64
+	for _, f := range flows {
+		totBytes += float64(f.Size)
+		if upgraded(f) {
+			upBytes += float64(f.Size)
+		}
+	}
+	oracleWQ := 0.5
+	if totBytes > 0 {
+		oracleWQ = upBytes / totBytes
+	}
+	if oracleWQ < 0.02 {
+		oracleWQ = 0.02
+	}
+	if oracleWQ > 0.98 {
+		oracleWQ = 0.98
+	}
+
+	// Build the fabric with the scheme's queue profile.
+	spec := sc.Spec
+	spec.WQ = sc.WQ
+	var profile topo.PortProfile
+	switch sc.Scheme {
+	case SchemeNaive:
+		profile = topo.NaiveProfile(spec)
+	case SchemeOWF:
+		ospec := spec
+		ospec.WQ = oracleWQ
+		profile = topo.OWFProfile(ospec)
+	case SchemeLayering:
+		profile = topo.LayeringProfile(spec)
+	case SchemeFlexPass, SchemeFlexPassRC3:
+		profile = topo.FlexPassProfile(spec)
+	case SchemeFlexPassAltQ:
+		profile = topo.AltQueueProfile(spec)
+	default:
+		panic(fmt.Sprintf("harness: unknown scheme %q", sc.Scheme))
+	}
+	fab := topo.Clos(eng, sc.Clos, topo.Params{
+		LinkRate:  sc.LinkRate,
+		LinkDelay: sc.LinkDelay,
+		HostDelay: sc.HostDelay,
+		SwitchBuf: sc.SwitchBuf,
+		BufAlpha:  sc.BufAlpha,
+		Profile:   profile,
+	})
+	agents := make([]*transport.Agent, hosts)
+	for i := range agents {
+		agents[i] = transport.NewAgent(eng, fab.Net.Host(i))
+	}
+
+	res := &Result{Scenario: sc, OracleWQ: oracleWQ}
+
+	// Per-flow transport configs (built once, reused).
+	legacyCfg := dctcp.LegacyConfig()
+	fullPacer := expresspass.DefaultPacerConfig(netem.CreditRateFor(sc.LinkRate, 1.0))
+	owfPacer := expresspass.DefaultPacerConfig(netem.CreditRateFor(sc.LinkRate, oracleWQ))
+	flexPacer := expresspass.DefaultPacerConfig(netem.CreditRateFor(sc.LinkRate, sc.WQ))
+	xpCfg := expresspass.DefaultConfig(fullPacer)
+	owfCfg := expresspass.DefaultConfig(owfPacer)
+	lyCfg := layering.Config(fullPacer)
+	fpCfg := flexpass.DefaultConfig(flexPacer)
+	fpCfg.DisableProRetx = sc.DisableProRetx
+	fpCfg.Reactive = sc.Reactive
+	altqCfg := fpCfg
+	altqCfg.ReClass = netem.ClassLegacy
+	rc3Cfg := fpCfg
+	rc3Cfg.RC3Split = true
+
+	var all []*transport.Flow
+	incastOf := make(map[uint64]bool)
+	nextID := uint64(1)
+	for _, spec := range flows {
+		spec := spec
+		id := nextID
+		nextID++
+		eng.At(spec.At, func() {
+			fl := &transport.Flow{
+				ID:    id,
+				Src:   agents[spec.Src],
+				Dst:   agents[spec.Dst],
+				Size:  spec.Size,
+				Start: eng.Now(),
+			}
+			all = append(all, fl)
+			if spec.Incast {
+				incastOf[id] = true
+			}
+			if !upgraded(spec) {
+				fl.Transport = "dctcp"
+				fl.Legacy = true
+				dctcp.Start(eng, fl, legacyCfg)
+				return
+			}
+			switch sc.Scheme {
+			case SchemeNaive:
+				fl.Transport = "expresspass"
+				expresspass.Start(eng, fl, xpCfg)
+			case SchemeOWF:
+				fl.Transport = "expresspass"
+				expresspass.Start(eng, fl, owfCfg)
+			case SchemeLayering:
+				fl.Transport = "layering"
+				expresspass.Start(eng, fl, lyCfg)
+			case SchemeFlexPass:
+				fl.Transport = "flexpass"
+				flexpass.Start(eng, fl, fpCfg)
+			case SchemeFlexPassAltQ:
+				fl.Transport = "flexpass"
+				flexpass.Start(eng, fl, altqCfg)
+			case SchemeFlexPassRC3:
+				fl.Transport = "flexpass"
+				flexpass.Start(eng, fl, rc3Cfg)
+			}
+		})
+	}
+
+	var qs *metrics.QueueSampler
+	if sc.SampleQueues {
+		qs = metrics.NewQueueSampler(eng, 100*sim.Microsecond)
+		idx := fab.FlexQueueIndex
+		for _, up := range fab.TorUplinks {
+			up := up
+			qs.Track(func() (int64, int64) { return up.QueueBytes(idx) })
+		}
+		qs.Start()
+	}
+
+	eng.Run(sc.Duration + sc.Drain)
+
+	for _, fl := range all {
+		res.Flows.Add(metrics.Snapshot(fl, incastOf[fl.ID]))
+	}
+	if qs != nil {
+		res.QueueAvg, res.QueueP90 = metrics.Stats(qs.Totals, 0.9)
+		res.QueueRedAvg, res.QueueRedP90 = metrics.Stats(qs.Reds, 0.9)
+	}
+	countPort := func(p *netem.Port) {
+		for q := 0; q < p.NumQueues(); q++ {
+			st := p.QueueStats(q)
+			res.DropsRed += st.DroppedRed
+			if p.QueueConfig(q).RateLimit > 0 {
+				res.DropsCredit += st.DroppedOver
+			} else {
+				res.DropsOther += st.DroppedOver
+			}
+		}
+	}
+	for _, sw := range fab.Net.Switches {
+		for _, p := range sw.Ports() {
+			countPort(p)
+		}
+	}
+	for _, h := range fab.Net.Hosts {
+		countPort(h.NIC())
+	}
+	res.Events = eng.Processed
+	return res
+}

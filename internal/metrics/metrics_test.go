@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flexpass/internal/sim"
+	"flexpass/internal/units"
+)
+
+func rec(size int64, fct sim.Time, legacy bool) FlowRecord {
+	return FlowRecord{Size: size, FCT: fct, Completed: true, Legacy: legacy}
+}
+
+func TestFilterSmallFlows(t *testing.T) {
+	var c Collector
+	c.Add(rec(50_000, sim.Millisecond, true))
+	c.Add(rec(200_000, 2*sim.Millisecond, true))
+	c.Add(rec(99_999, 3*sim.Millisecond, false))
+	c.Add(FlowRecord{Size: 10, Completed: false})
+	fcts := c.FCTs(Small())
+	if len(fcts) != 2 {
+		t.Fatalf("small flows = %d, want 2", len(fcts))
+	}
+	legacyOnly := Small()
+	legacyOnly.Legacy = Bool(true)
+	if n := c.Count(legacyOnly); n != 1 {
+		t.Fatalf("legacy small = %d, want 1", n)
+	}
+	if c.Incomplete() != 1 {
+		t.Fatalf("incomplete = %d, want 1", c.Incomplete())
+	}
+}
+
+func TestStatsBasics(t *testing.T) {
+	ts := []sim.Time{1, 2, 3, 4, 5}
+	if Mean(ts) != 3 {
+		t.Fatalf("mean = %v", Mean(ts))
+	}
+	if Max(ts) != 5 {
+		t.Fatalf("max = %v", Max(ts))
+	}
+	if p := Percentile(ts, 0.5); p != 3 {
+		t.Fatalf("median = %v", p)
+	}
+	if p := Percentile(ts, 0.99); p != 5 {
+		t.Fatalf("p99 = %v", p)
+	}
+	if p := Percentile(ts, 1.0); p != 5 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if Mean(nil) != 0 || Percentile(nil, 0.5) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty inputs must yield 0")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	ts := []sim.Time{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := StdDev(ts); got != 2 {
+		t.Fatalf("stddev = %v, want 2", got)
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint32, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ts := make([]sim.Time, len(raw))
+		for i, r := range raw {
+			ts[i] = sim.Time(r)
+		}
+		pa := float64(a%100+1) / 100
+		pb := float64(b%100+1) / 100
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		qa, qb := Percentile(ts, pa), Percentile(ts, pb)
+		return qa <= qb && qb <= Max(ts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplerSeries(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var bytesA int64
+	s := NewSampler(eng, sim.Millisecond)
+	s.Track("a", func() int64 { return bytesA })
+	s.Start()
+	// 1MB/ms for 5ms then idle.
+	for i := 1; i <= 5; i++ {
+		eng.At(sim.Time(i)*sim.Millisecond-sim.Microsecond, func() { bytesA += 1_000_000 })
+	}
+	eng.Run(8 * sim.Millisecond)
+	rates := s.Rates("a")
+	if len(rates) != 8 {
+		t.Fatalf("%d samples, want 8", len(rates))
+	}
+	if rates[0] != 8*units.Gbps {
+		t.Fatalf("rate[0] = %v, want 8Gbps", rates[0])
+	}
+	if rates[7] != 0 {
+		t.Fatalf("idle rate = %v, want 0", rates[7])
+	}
+}
+
+func TestStarvationFraction(t *testing.T) {
+	g := 1 * units.Gbps
+	a := []units.Rate{10 * g, 10 * g, 1 * g, 1 * g}
+	b := []units.Rate{1 * g, 1 * g, 10 * g, 10 * g}
+	fa, fb := StarvationFraction(a, b, 2*g, false)
+	if fa != 0.5 || fb != 0.5 {
+		t.Fatalf("fractions = %v %v, want 0.5 0.5", fa, fb)
+	}
+	// skipIdle drops all-zero windows.
+	a2 := []units.Rate{0, 10 * g}
+	b2 := []units.Rate{0, 1 * g}
+	fa2, fb2 := StarvationFraction(a2, b2, 2*g, true)
+	if fa2 != 0 || fb2 != 1 {
+		t.Fatalf("skipIdle fractions = %v %v, want 0 1", fa2, fb2)
+	}
+}
+
+func TestQueueSampler(t *testing.T) {
+	eng := sim.NewEngine(1)
+	occ := int64(0)
+	q := NewQueueSampler(eng, sim.Millisecond)
+	q.Track(func() (int64, int64) { return occ, occ / 2 })
+	q.Start()
+	eng.At(1500*sim.Microsecond, func() { occ = 100_000 })
+	eng.Run(4 * sim.Millisecond)
+	if len(q.Totals) != 4 {
+		t.Fatalf("%d samples, want 4", len(q.Totals))
+	}
+	mean, p90 := Stats(q.Totals, 0.9)
+	if mean != 75_000 {
+		t.Fatalf("mean = %d, want 75000", mean)
+	}
+	if p90 != 100_000 {
+		t.Fatalf("p90 = %d, want 100000", p90)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	ts := []sim.Time{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	q := Quantiles(ts, 5)
+	want := []sim.Time{2, 4, 6, 8, 10}
+	for i := range want {
+		if q[i] != want[i] {
+			t.Fatalf("quantiles = %v, want %v", q, want)
+		}
+	}
+	if Quantiles(nil, 5) != nil || Quantiles(ts, 0) != nil {
+		t.Fatal("degenerate inputs must return nil")
+	}
+	// Monotone.
+	for i := 1; i < len(q); i++ {
+		if q[i] < q[i-1] {
+			t.Fatal("quantile curve not monotone")
+		}
+	}
+}

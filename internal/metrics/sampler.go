@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"flexpass/internal/sim"
+	"flexpass/internal/units"
+)
+
+// Sampler periodically samples monotone counters (e.g. cumulative received
+// bytes per traffic group) and turns the deltas into throughput time
+// series — the basis of the paper's Fig 1/7/9 plots and of the starvation
+// metric.
+type Sampler struct {
+	eng      *sim.Engine
+	interval sim.Time
+	names    []string
+	sources  map[string]func() int64
+	last     map[string]int64
+	series   map[string][]int64 // bytes moved per interval
+	running  bool
+}
+
+// NewSampler builds a sampler with the given sampling interval.
+func NewSampler(eng *sim.Engine, interval sim.Time) *Sampler {
+	return &Sampler{
+		eng:      eng,
+		interval: interval,
+		sources:  make(map[string]func() int64),
+		last:     make(map[string]int64),
+		series:   make(map[string][]int64),
+	}
+}
+
+// Track registers a named cumulative-bytes source.
+func (s *Sampler) Track(name string, fn func() int64) {
+	if _, dup := s.sources[name]; !dup {
+		s.names = append(s.names, name)
+	}
+	s.sources[name] = fn
+}
+
+// Start begins periodic sampling (runs until the engine stops scheduling).
+func (s *Sampler) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	var tick func()
+	tick = func() {
+		for _, name := range s.names {
+			cur := s.sources[name]()
+			s.series[name] = append(s.series[name], cur-s.last[name])
+			s.last[name] = cur
+		}
+		s.eng.After(s.interval, tick)
+	}
+	s.eng.After(s.interval, tick)
+}
+
+// Interval returns the sampling interval.
+func (s *Sampler) Interval() sim.Time { return s.interval }
+
+// Rates converts a series to per-interval throughputs.
+func (s *Sampler) Rates(name string) []units.Rate {
+	deltas := s.series[name]
+	out := make([]units.Rate, len(deltas))
+	for i, d := range deltas {
+		out[i] = units.RateOf(d, s.interval)
+	}
+	return out
+}
+
+// Series returns the raw per-interval byte deltas.
+func (s *Sampler) Series(name string) []int64 { return s.series[name] }
+
+// StarvationFraction returns the fraction of sampling windows in which the
+// named group's throughput was below the threshold — the paper's
+// starvation time ("duration of each transport's bandwidth being less
+// than 20%", Fig 9c). Windows where both groups are idle (no offered
+// load) are still counted, as in a testbed wall-clock measurement over an
+// active experiment; pass skipIdle to exclude windows with zero total.
+func StarvationFraction(a, b []units.Rate, threshold units.Rate, skipIdle bool) (fracA, fracB float64) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	windows, belowA, belowB := 0, 0, 0
+	for i := 0; i < n; i++ {
+		if skipIdle && a[i] == 0 && b[i] == 0 {
+			continue
+		}
+		windows++
+		if a[i] < threshold {
+			belowA++
+		}
+		if b[i] < threshold {
+			belowB++
+		}
+	}
+	if windows == 0 {
+		return 0, 0
+	}
+	return float64(belowA) / float64(windows), float64(belowB) / float64(windows)
+}
+
+// QueueSampler periodically samples queue occupancies (bytes) of selected
+// port/queue pairs, for the §6.2 bounded-queue measurements.
+type QueueSampler struct {
+	eng      *sim.Engine
+	interval sim.Time
+	sources  []func() (total, red int64)
+	Totals   []int64 // all samples of total occupancy across sources
+	Reds     []int64
+	running  bool
+}
+
+// NewQueueSampler builds a queue sampler.
+func NewQueueSampler(eng *sim.Engine, interval sim.Time) *QueueSampler {
+	return &QueueSampler{eng: eng, interval: interval}
+}
+
+// Track adds a queue to sample.
+func (q *QueueSampler) Track(fn func() (total, red int64)) { q.sources = append(q.sources, fn) }
+
+// Start begins sampling.
+func (q *QueueSampler) Start() {
+	if q.running {
+		return
+	}
+	q.running = true
+	var tick func()
+	tick = func() {
+		for _, fn := range q.sources {
+			t, r := fn()
+			q.Totals = append(q.Totals, t)
+			q.Reds = append(q.Reds, r)
+		}
+		q.eng.After(q.interval, tick)
+	}
+	q.eng.After(q.interval, tick)
+}
+
+// Stats summarizes samples: mean and p-quantile.
+func Stats(samples []int64, p float64) (mean int64, pctl int64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	ts := make([]sim.Time, len(samples))
+	var sum int64
+	for i, s := range samples {
+		ts[i] = sim.Time(s)
+		sum += s
+	}
+	return sum / int64(len(samples)), int64(Percentile(ts, p))
+}

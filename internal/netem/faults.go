@@ -1,0 +1,23 @@
+package netem
+
+// Fault injection: random non-congestion packet loss on a port, modelling
+// the paper's §4.3 failure discussion ("the proactive sub-flow ... can
+// still experience non-congestion losses, e.g. due to switch failures").
+// Losses are drawn from the engine's deterministic random stream, so
+// faulty runs are exactly reproducible.
+
+// FaultStats counts injected losses.
+type FaultStats struct {
+	Injected int64 // packets dropped by fault injection
+}
+
+// SetLossRate makes the port drop each packet independently with the given
+// probability before enqueueing it (wire corruption / silent switch
+// failure). Rate 0 disables injection. Credits, ACKs, and data are all
+// subject to loss, as on a real faulty link.
+func (p *Port) SetLossRate(rate float64) {
+	p.lossRate = rate
+}
+
+// FaultStats returns the injected-loss counters.
+func (p *Port) FaultStats() FaultStats { return p.faults }

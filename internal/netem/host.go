@@ -1,0 +1,59 @@
+package netem
+
+import (
+	"flexpass/internal/sim"
+)
+
+// Host is an end host: a NIC egress port toward its ToR plus a handler
+// installed by the transport framework. Per the paper's footnote 6, the NIC
+// is configured like an edge switch port (same queue layout), so credit
+// rate limiting and selective dropping also apply at the edge.
+type Host struct {
+	id      NodeID
+	name    string
+	eng     *sim.Engine
+	nic     *Port
+	delay   sim.Time // host processing delay applied per transmitted packet
+	handler func(*Packet)
+
+	// RxPackets counts packets delivered to the handler.
+	RxPackets int64
+}
+
+// NewHost creates a host. nic must already be constructed; the host takes
+// ownership of it.
+func NewHost(eng *sim.Engine, id NodeID, name string, nic *Port, delay sim.Time) *Host {
+	nic.SetOwner(id)
+	return &Host{id: id, name: name, eng: eng, nic: nic, delay: delay}
+}
+
+// NodeID implements Node.
+func (h *Host) NodeID() NodeID { return h.id }
+
+// Name returns the host's label.
+func (h *Host) Name() string { return h.name }
+
+// NIC returns the host's egress port.
+func (h *Host) NIC() *Port { return h.nic }
+
+// SetHandler installs the receive callback. The transport framework calls
+// this once per host.
+func (h *Host) SetHandler(fn func(*Packet)) { h.handler = fn }
+
+// Send transmits a packet from this host after the host processing delay.
+func (h *Host) Send(pkt *Packet) {
+	pkt.Src = h.id
+	if h.delay > 0 {
+		h.eng.After(h.delay, func() { h.nic.Send(pkt) })
+		return
+	}
+	h.nic.Send(pkt)
+}
+
+// Receive implements Node: deliver to the transport handler.
+func (h *Host) Receive(pkt *Packet) {
+	h.RxPackets++
+	if h.handler != nil {
+		h.handler(pkt)
+	}
+}

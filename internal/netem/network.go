@@ -1,0 +1,45 @@
+package netem
+
+import (
+	"flexpass/internal/sim"
+)
+
+// Network is a container for the simulated fabric: the engine plus every
+// node, with stable IDs assigned in construction order.
+type Network struct {
+	Eng      *sim.Engine
+	Hosts    []*Host
+	Switches []*Switch
+	nodes    map[NodeID]Node
+	nextID   NodeID
+}
+
+// NewNetwork creates an empty network bound to eng.
+func NewNetwork(eng *sim.Engine) *Network {
+	return &Network{Eng: eng, nodes: make(map[NodeID]Node)}
+}
+
+// AllocID hands out the next node ID.
+func (n *Network) AllocID() NodeID {
+	id := n.nextID
+	n.nextID++
+	return id
+}
+
+// AddHost registers a host.
+func (n *Network) AddHost(h *Host) {
+	n.Hosts = append(n.Hosts, h)
+	n.nodes[h.NodeID()] = h
+}
+
+// AddSwitch registers a switch.
+func (n *Network) AddSwitch(s *Switch) {
+	n.Switches = append(n.Switches, s)
+	n.nodes[s.NodeID()] = s
+}
+
+// Node returns the node with the given ID, or nil.
+func (n *Network) Node(id NodeID) Node { return n.nodes[id] }
+
+// Host returns host i (panics if out of range).
+func (n *Network) Host(i int) *Host { return n.Hosts[i] }

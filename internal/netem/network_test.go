@@ -1,0 +1,72 @@
+package netem
+
+import (
+	"testing"
+
+	"flexpass/internal/sim"
+	"flexpass/internal/units"
+)
+
+func TestNetworkRegistry(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := NewNetwork(eng)
+	if n.AllocID() != 0 || n.AllocID() != 1 {
+		t.Fatal("AllocID must count from 0")
+	}
+	nic := NewPort(eng, "nic", 10*units.Gbps, 0, PortConfig{Queues: []QueueConfig{{}}}, nil)
+	h := NewHost(eng, 0, "h0", nic, 0)
+	n.AddHost(h)
+	sw := NewSwitch(eng, 1, "sw0", nil)
+	n.AddSwitch(sw)
+	if n.Node(0) != Node(h) || n.Node(1) != Node(sw) {
+		t.Fatal("Node lookup broken")
+	}
+	if n.Host(0) != h {
+		t.Fatal("Host lookup broken")
+	}
+	if n.Node(99) != nil {
+		t.Fatal("unknown node must be nil")
+	}
+	if h.NodeID() != 0 || h.Name() != "h0" || h.NIC() != nic {
+		t.Fatal("host accessors broken")
+	}
+	if sw.Name() != "sw0" || sw.Shared() != nil {
+		t.Fatal("switch accessors broken")
+	}
+	if nic.Rate() != 10*units.Gbps || nic.Name() != "nic" {
+		t.Fatal("port accessors broken")
+	}
+	if nic.QueueConfig(0).Name != "" {
+		t.Fatal("queue config accessor broken")
+	}
+}
+
+func TestKindAndColorStrings(t *testing.T) {
+	cases := map[Kind]string{
+		KindLegacyData: "legacy-data",
+		KindCredit:     "credit",
+		KindAckPro:     "ack-pro",
+		KindAckRe:      "ack-re",
+		KindHomaGrant:  "homa-grant",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Error("out-of-range kind must be unknown")
+	}
+}
+
+func TestFrameBytes(t *testing.T) {
+	if FrameBytes(1460) != 1538 {
+		t.Fatal("full frame wrong")
+	}
+	if FrameBytes(5000) != 1538 {
+		t.Fatal("oversize payload must clamp to MTU")
+	}
+	if FrameBytes(1) != 84 {
+		t.Fatal("minimum frame wrong")
+	}
+}

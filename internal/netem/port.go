@@ -1,0 +1,360 @@
+package netem
+
+import (
+	"fmt"
+
+	"flexpass/internal/sim"
+	"flexpass/internal/units"
+)
+
+// SharedBuffer is a switch-wide packet buffer pool managed with the
+// Choudhury–Hahne dynamic threshold: a queue may accept a packet only while
+// its occupancy stays below Alpha × (free buffer). All ports of a switch
+// share one SharedBuffer.
+type SharedBuffer struct {
+	Total units.ByteSize
+	Alpha float64
+	used  int64
+}
+
+// NewSharedBuffer returns a pool of the given size with dynamic threshold
+// factor alpha (the paper uses 1/4).
+func NewSharedBuffer(total units.ByteSize, alpha float64) *SharedBuffer {
+	return &SharedBuffer{Total: total, Alpha: alpha}
+}
+
+// Used reports the bytes currently held.
+func (s *SharedBuffer) Used() int64 { return s.used }
+
+// admits reports whether a queue currently holding qbytes may accept size
+// more bytes.
+func (s *SharedBuffer) admits(qbytes, size int64) bool {
+	if s.used+size > int64(s.Total) {
+		return false
+	}
+	free := int64(s.Total) - s.used
+	return float64(qbytes+size) <= s.Alpha*float64(free)
+}
+
+// PortStats accumulates per-port transmit counters, including a by-kind
+// byte breakdown (credits vs proactive vs reactive vs legacy, etc.) for
+// utilization studies without per-flow sampling.
+type PortStats struct {
+	TxPackets   int64
+	TxBytes     int64
+	TxBytesKind [16]int64 // indexed by Kind
+}
+
+// PortConfig describes an egress port's queues and classification.
+type PortConfig struct {
+	// Queues lists the queue configurations, indexed by queue number.
+	Queues []QueueConfig
+	// Classify maps a packet to a queue index. Nil means "queue = Class",
+	// clamped to the last queue.
+	Classify func(*Packet) int
+}
+
+// Port is a directed egress: a set of queues, a scheduler (strict priority
+// across bands, DWRR within a band, optional per-queue pacing), a
+// serializer at the line rate, and a propagation delay to the peer node.
+type Port struct {
+	eng   *sim.Engine
+	name  string
+	rate  units.Rate
+	prop  sim.Time
+	peer  Node
+	owner NodeID
+
+	queues   []*queue
+	bands    [][]*queue
+	rr       []int
+	classify func(*Packet) int
+	shared   *SharedBuffer
+
+	busy   bool
+	wakeAt sim.Time // earliest pending eligibility wake; 0 when none
+
+	// Delivery pipeline: arrivals at the peer are FIFO with a constant
+	// propagation offset, so one scheduled event per port suffices
+	// instead of one per in-flight packet (keeps the event heap small).
+	pipe     []pipeEntry
+	pipeHead int
+
+	txDoneFn  func()
+	deliverFn func()
+
+	lossRate float64
+	faults   FaultStats
+
+	stats PortStats
+}
+
+type pipeEntry struct {
+	at  sim.Time
+	pkt *Packet
+}
+
+// NewPort builds an egress port. shared may be nil for ports with only
+// privately-capped queues; queues with CapBytes==0 then have unlimited
+// buffer (useful for host NICs).
+func NewPort(eng *sim.Engine, name string, rate units.Rate, prop sim.Time, cfg PortConfig, shared *SharedBuffer) *Port {
+	if len(cfg.Queues) == 0 {
+		panic("netem: port with no queues")
+	}
+	p := &Port{
+		eng:      eng,
+		name:     name,
+		rate:     rate,
+		prop:     prop,
+		classify: cfg.Classify,
+		shared:   shared,
+	}
+	maxBand := 0
+	for _, qc := range cfg.Queues {
+		p.queues = append(p.queues, newQueue(qc))
+		if qc.Band > maxBand {
+			maxBand = qc.Band
+		}
+	}
+	p.bands = make([][]*queue, maxBand+1)
+	for _, q := range p.queues {
+		p.bands[q.cfg.Band] = append(p.bands[q.cfg.Band], q)
+	}
+	p.rr = make([]int, maxBand+1)
+	p.txDoneFn = func() {
+		p.busy = false
+		p.kick()
+	}
+	p.deliverFn = p.deliverHead
+	return p
+}
+
+// deliverAt queues a packet for arrival at the peer at time t.
+func (p *Port) deliverAt(t sim.Time, pkt *Packet) {
+	p.pipe = append(p.pipe, pipeEntry{at: t, pkt: pkt})
+	if len(p.pipe)-p.pipeHead == 1 {
+		p.eng.At(t, p.deliverFn)
+	}
+}
+
+// deliverHead delivers the head packet and schedules the next arrival.
+func (p *Port) deliverHead() {
+	e := p.pipe[p.pipeHead]
+	p.pipe[p.pipeHead].pkt = nil
+	p.pipeHead++
+	if p.pipeHead >= len(p.pipe) {
+		p.pipe = p.pipe[:0]
+		p.pipeHead = 0
+	} else if p.pipeHead > 64 && p.pipeHead*2 > len(p.pipe) {
+		n := copy(p.pipe, p.pipe[p.pipeHead:])
+		for i := n; i < len(p.pipe); i++ {
+			p.pipe[i].pkt = nil
+		}
+		p.pipe = p.pipe[:n]
+		p.pipeHead = 0
+	}
+	p.peer.Receive(e.pkt)
+	if p.pipeHead < len(p.pipe) {
+		p.eng.At(p.pipe[p.pipeHead].at, p.deliverFn)
+	}
+}
+
+// Connect attaches the receiving peer. Must be called before any Send.
+func (p *Port) Connect(peer Node) { p.peer = peer }
+
+// SetOwner records the node the port belongs to (for diagnostics).
+func (p *Port) SetOwner(id NodeID) { p.owner = id }
+
+// Rate returns the port's line rate.
+func (p *Port) Rate() units.Rate { return p.rate }
+
+// Name returns the port's label.
+func (p *Port) Name() string { return p.name }
+
+// Stats returns a copy of the port counters.
+func (p *Port) Stats() PortStats { return p.stats }
+
+// QueueStats returns a copy of queue i's counters.
+func (p *Port) QueueStats(i int) QueueStats { return p.queues[i].stats }
+
+// QueueConfig returns queue i's configuration.
+func (p *Port) QueueConfig(i int) QueueConfig { return p.queues[i].cfg }
+
+// QueueBytes returns queue i's instantaneous occupancy in bytes, and the
+// portion of it that is Red-colored.
+func (p *Port) QueueBytes(i int) (total, red int64) {
+	return p.queues[i].lenBytes(), p.queues[i].redB
+}
+
+// NumQueues returns how many queues the port has.
+func (p *Port) NumQueues() int { return len(p.queues) }
+
+// Send classifies, admits, and enqueues pkt, then kicks the scheduler.
+// Drops are counted in the queue stats; the packet is silently discarded.
+func (p *Port) Send(pkt *Packet) {
+	if p.lossRate > 0 && p.eng.Rand().Float64() < p.lossRate {
+		p.faults.Injected++
+		return
+	}
+	qi := int(pkt.Class)
+	if p.classify != nil {
+		qi = p.classify(pkt)
+	}
+	if qi < 0 {
+		qi = 0
+	}
+	if qi >= len(p.queues) {
+		qi = len(p.queues) - 1
+	}
+	q := p.queues[qi]
+	sz := int64(pkt.Size)
+
+	// Color-aware selective dropping (paper §4.1): red packets are dropped
+	// once the queue's red occupancy would exceed the threshold; green
+	// packets are only subject to buffer admission.
+	if q.cfg.RedDropThreshold > 0 && pkt.Color == Red && q.redB+sz > int64(q.cfg.RedDropThreshold) {
+		q.stats.Dropped++
+		q.stats.DroppedRed++
+		return
+	}
+
+	// Buffer admission: private cap, or shared dynamic threshold.
+	if q.cfg.CapBytes > 0 {
+		if q.bytes+sz > int64(q.cfg.CapBytes) {
+			q.stats.Dropped++
+			q.stats.DroppedOver++
+			return
+		}
+	} else if p.shared != nil {
+		if !p.shared.admits(q.bytes, sz) {
+			q.stats.Dropped++
+			q.stats.DroppedOver++
+			return
+		}
+		p.shared.used += sz
+	}
+
+	// ECN marking on ECN-capable packets: RED-style probabilistic when
+	// configured, otherwise DCTCP-style instantaneous threshold.
+	if pkt.ECNCapable {
+		occ := q.bytes + sz
+		switch {
+		case q.cfg.REDMax > 0:
+			if occ >= int64(q.cfg.REDMax) {
+				pkt.CE = true
+				q.stats.Marked++
+			} else if occ > int64(q.cfg.REDMin) {
+				frac := float64(occ-int64(q.cfg.REDMin)) / float64(q.cfg.REDMax-q.cfg.REDMin)
+				if p.eng.Rand().Float64() < frac*q.cfg.REDPMax {
+					pkt.CE = true
+					q.stats.Marked++
+				}
+			}
+		case q.cfg.ECNThreshold > 0 && occ > int64(q.cfg.ECNThreshold):
+			pkt.CE = true
+			q.stats.Marked++
+		}
+	}
+
+	q.push(pkt)
+	p.kick()
+}
+
+// kick starts a transmission if the port is idle and a packet is eligible.
+func (p *Port) kick() {
+	if p.busy {
+		return
+	}
+	pkt, q, wait := p.selectNext()
+	if pkt == nil {
+		if wait > 0 && (p.wakeAt == 0 || wait < p.wakeAt || p.wakeAt <= p.eng.Now()) {
+			p.wakeAt = wait
+			p.eng.At(wait, func() {
+				if p.wakeAt <= p.eng.Now() {
+					p.wakeAt = 0
+				}
+				p.kick()
+			})
+		}
+		return
+	}
+	if q.cfg.CapBytes == 0 && p.shared != nil {
+		p.shared.used -= int64(pkt.Size)
+	}
+	if q.cfg.RateLimit > 0 {
+		// Pace at exactly RateLimit with one-packet granularity.
+		next := q.nextEligible
+		if now := p.eng.Now(); next < now {
+			next = now
+		}
+		q.nextEligible = next + q.cfg.RateLimit.TxTime(pkt.Size)
+	}
+	p.busy = true
+	tx := p.rate.TxTime(pkt.Size)
+	p.stats.TxPackets++
+	p.stats.TxBytes += int64(pkt.Size)
+	if int(pkt.Kind) < len(p.stats.TxBytesKind) {
+		p.stats.TxBytesKind[pkt.Kind] += int64(pkt.Size)
+	}
+	p.eng.After(tx, p.txDoneFn)
+	p.deliverAt(p.eng.Now()+tx+p.prop, pkt)
+}
+
+// eligible reports whether q may dequeue right now.
+func (p *Port) eligible(q *queue) bool {
+	if q.empty() {
+		return false
+	}
+	return q.cfg.RateLimit == 0 || q.nextEligible <= p.eng.Now()
+}
+
+// selectNext picks the next packet under strict-priority + DWRR + pacing.
+// When nothing is eligible but some rate-limited queue holds data, it
+// returns the earliest time a queue becomes eligible.
+func (p *Port) selectNext() (*Packet, *queue, sim.Time) {
+	var wait sim.Time
+	for b, qs := range p.bands {
+		anyEligible := false
+		for _, q := range qs {
+			if q.empty() {
+				continue
+			}
+			if p.eligible(q) {
+				anyEligible = true
+			} else if wait == 0 || q.nextEligible < wait {
+				wait = q.nextEligible
+			}
+		}
+		if !anyEligible {
+			continue // rate-limited band waiting: serve lower bands meanwhile
+		}
+		if len(qs) == 1 {
+			q := qs[0]
+			return q.pop(), q, 0
+		}
+		// DWRR within the band. Queues accumulate one quantum per visit;
+		// a queue keeps the pointer while its deficit affords its head.
+		n := len(qs)
+		for pass := 0; pass < 1000*n; pass++ {
+			q := qs[p.rr[b]]
+			if q.empty() {
+				q.deficit = 0
+				p.rr[b] = (p.rr[b] + 1) % n
+				continue
+			}
+			if !p.eligible(q) {
+				p.rr[b] = (p.rr[b] + 1) % n
+				continue
+			}
+			head := q.headPkt()
+			if q.deficit >= int64(head.Size) {
+				q.deficit -= int64(head.Size)
+				return q.pop(), q, 0
+			}
+			q.deficit += q.quantum
+			p.rr[b] = (p.rr[b] + 1) % n
+		}
+		panic(fmt.Sprintf("netem: DWRR failed to converge on port %s band %d", p.name, b))
+	}
+	return nil, nil, wait
+}

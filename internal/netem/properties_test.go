@@ -1,0 +1,221 @@
+package netem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flexpass/internal/sim"
+	"flexpass/internal/units"
+)
+
+// Property: the shared buffer's used counter always equals the summed
+// occupancy of the queues drawing from it, and returns to zero when all
+// ports drain — under arbitrary interleavings of arrivals across ports.
+func TestSharedBufferAccountingProperty(t *testing.T) {
+	f := func(arrivals []uint16) bool {
+		eng := sim.NewEngine(11)
+		shared := NewSharedBuffer(200*units.KB, 0.5)
+		var ports []*Port
+		sk := &sink{id: 1, eng: eng}
+		for i := 0; i < 3; i++ {
+			p := NewPort(eng, "p", 1*units.Gbps, 0, PortConfig{Queues: []QueueConfig{
+				{Name: "a", Band: 0, Weight: 1},
+				{Name: "b", Band: 0, Weight: 2},
+			}}, shared)
+			p.Connect(sk)
+			ports = append(ports, p)
+		}
+		for i, a := range arrivals {
+			port := ports[int(a)%3]
+			size := 64 + int(a%13)*100
+			at := sim.Time(i) * 500 * sim.Nanosecond
+			eng.At(at, func() {
+				port.Send(&Packet{Class: Class(a % 2), Size: size})
+			})
+		}
+		// Invariant check midway.
+		eng.At(sim.Millisecond/2, func() {
+			var sum int64
+			for _, p := range ports {
+				for q := 0; q < p.NumQueues(); q++ {
+					b, _ := p.QueueBytes(q)
+					sum += b
+				}
+			}
+			if sum != shared.Used() {
+				t.Errorf("mid-run: queue sum %d != shared used %d", sum, shared.Used())
+			}
+		})
+		eng.Run(sim.Second)
+		return shared.Used() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under persistent backlog, DWRR byte shares match weights for
+// arbitrary weight pairs.
+func TestDWRRWeightProperty(t *testing.T) {
+	f := func(wa, wb uint8) bool {
+		fa := 1 + float64(wa%8)
+		fb := 1 + float64(wb%8)
+		eng := sim.NewEngine(7)
+		cfg := PortConfig{Queues: []QueueConfig{
+			{Name: "a", Band: 0, Weight: fa},
+			{Name: "b", Band: 0, Weight: fb},
+		}}
+		p := NewPort(eng, "w", 10*units.Gbps, 0, cfg, nil)
+		sk := &sink{id: 1, eng: eng}
+		p.Connect(sk)
+		for i := 0; i < 3000; i++ {
+			p.Send(&Packet{Class: 0, Size: 1000})
+			p.Send(&Packet{Class: 1, Size: 1000})
+		}
+		eng.Run((10 * units.Gbps).TxTime(1000) * 2000)
+		var ba, bb int64
+		for _, pk := range sk.arrived {
+			if pk.Class == 0 {
+				ba += int64(pk.Size)
+			} else {
+				bb += int64(pk.Size)
+			}
+		}
+		want := fa / (fa + fb)
+		got := float64(ba) / float64(ba+bb)
+		return got > want-0.08 && got < want+0.08
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The token-bucket pacer hits its configured long-run rate precisely.
+func TestRateLimiterLongRunPrecision(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := PortConfig{Queues: []QueueConfig{
+		{Name: "credit", Band: 0, RateLimit: 273 * units.Mbps, CapBytes: 4 * units.KB},
+		{Name: "data", Band: 1},
+	}}
+	p := NewPort(eng, "rl", 10*units.Gbps, 0, cfg, nil)
+	sk := &sink{id: 1, eng: eng}
+	p.Connect(sk)
+	// Offer credits faster than the limit for 10ms; keep data flowing too.
+	for i := 0; i < 10000; i++ {
+		at := sim.Time(i) * sim.Microsecond
+		eng.At(at, func() {
+			p.Send(&Packet{Class: 0, Size: 84})
+			p.Send(&Packet{Class: 1, Size: 1538})
+		})
+	}
+	eng.Run(10 * sim.Millisecond)
+	var creditB int64
+	for _, pk := range sk.arrived {
+		if pk.Class == 0 {
+			creditB += int64(pk.Size)
+		}
+	}
+	got := units.RateOf(creditB, 10*sim.Millisecond)
+	if got < 260*units.Mbps || got > 280*units.Mbps {
+		t.Fatalf("credit rate %v, want ≈273Mbps", got)
+	}
+}
+
+// Strict priority: a saturated low band never delays the high band by
+// more than one in-flight frame.
+func TestStrictPriorityLatencyBound(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := PortConfig{Queues: []QueueConfig{
+		{Name: "hi", Band: 0},
+		{Name: "lo", Band: 1},
+	}}
+	p := NewPort(eng, "sp", 10*units.Gbps, 0, cfg, nil)
+	sk := &sink{id: 1, eng: eng}
+	p.Connect(sk)
+	// Saturate low priority.
+	for i := 0; i < 1000; i++ {
+		p.Send(&Packet{Class: 1, Size: 1538})
+	}
+	frame := (10 * units.Gbps).TxTime(1538)
+	worst := sim.Time(0)
+	for i := 0; i < 50; i++ {
+		sent := sim.Time(i) * 20 * sim.Microsecond
+		eng.At(sent, func() {
+			p.Send(&Packet{Class: 0, Size: 84, SentAt: eng.Now()})
+		})
+	}
+	eng.Run(5 * sim.Millisecond)
+	for i, pk := range sk.arrived {
+		if pk.Class == 0 {
+			delay := sk.at[i] - pk.SentAt
+			if delay > worst {
+				worst = delay
+			}
+		}
+	}
+	// Bound: one full low-priority frame already serializing + own
+	// serialization.
+	bound := frame + (10 * units.Gbps).TxTime(84) + sim.Microsecond
+	if worst > bound {
+		t.Fatalf("high-priority delay %v exceeds bound %v", worst, bound)
+	}
+}
+
+// Fault injection must never fire at rate 0 and always fire at rate 1.
+func TestFaultInjectionExtremes(t *testing.T) {
+	eng := sim.NewEngine(2)
+	p, sk := singleQueuePort(eng, 10*units.Gbps, 0)
+	p.SetLossRate(0)
+	for i := 0; i < 100; i++ {
+		p.Send(mkPkt(0, 100))
+	}
+	eng.Run(sim.Millisecond)
+	if len(sk.arrived) != 100 {
+		t.Fatalf("rate 0 dropped packets: %d arrived", len(sk.arrived))
+	}
+	p.SetLossRate(1)
+	for i := 0; i < 100; i++ {
+		p.Send(mkPkt(0, 100))
+	}
+	eng.Run(2 * sim.Millisecond)
+	if len(sk.arrived) != 100 {
+		t.Fatalf("rate 1 delivered packets: %d arrived", len(sk.arrived))
+	}
+	if p.FaultStats().Injected != 100 {
+		t.Fatalf("injected = %d, want 100", p.FaultStats().Injected)
+	}
+}
+
+// Delivery pipeline: per-port FIFO order is preserved even with
+// interleaved enqueues and drains.
+func TestDeliveryPipelineOrderProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		eng := sim.NewEngine(13)
+		p, sk := singleQueuePort(eng, 1*units.Gbps, 3*sim.Microsecond)
+		for i, s := range sizes {
+			seq := uint32(i)
+			size := 64 + int(s)*4
+			at := sim.Time(i) * sim.Microsecond
+			eng.At(at, func() {
+				p.Send(&Packet{Class: 0, Size: size, Seq: seq})
+			})
+		}
+		eng.Run(sim.Second)
+		if len(sk.arrived) != len(sizes) {
+			return false
+		}
+		for i, pk := range sk.arrived {
+			if pk.Seq != uint32(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(17))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+package netem
+
+import (
+	"flexpass/internal/sim"
+	"flexpass/internal/units"
+)
+
+// QueueConfig describes one egress queue of a port.
+type QueueConfig struct {
+	// Name labels the queue in stats output ("Q0", "Q1", ...).
+	Name string
+
+	// Band is the strict-priority band: band 0 is always served before band
+	// 1, and so on. Queues in the same band share it via DWRR.
+	Band int
+
+	// Weight is the DWRR weight within the band. Zero means 1.
+	Weight float64
+
+	// ECNThreshold marks CE on ECN-capable packets when the queue's byte
+	// occupancy after enqueue exceeds it (DCTCP-style instantaneous
+	// threshold marking). Zero disables marking.
+	ECNThreshold units.ByteSize
+
+	// REDMin/REDMax/REDPMax enable RED-style probabilistic marking
+	// instead of the hard threshold: below REDMin no packet is marked,
+	// between REDMin and REDMax the marking probability rises linearly
+	// to REDPMax, and above REDMax every ECN-capable packet is marked.
+	// When REDMax is zero the hard ECNThreshold applies instead. The
+	// paper's switches run "RED/ECN marking" on Q1; with REDMin=REDMax
+	// the two configurations coincide, which is why threshold marking is
+	// the default everywhere.
+	REDMin  units.ByteSize
+	REDMax  units.ByteSize
+	REDPMax float64
+
+	// RedDropThreshold drops incoming Red packets once the queue's
+	// red-colored byte occupancy would exceed it (color-aware selective
+	// dropping). Zero disables selective dropping.
+	RedDropThreshold units.ByteSize
+
+	// CapBytes is a hard private cap on the queue occupancy. When zero the
+	// queue draws from the port's shared buffer under the dynamic
+	// threshold. Credit queues use a small private cap (<1KB in the paper).
+	CapBytes units.ByteSize
+
+	// RateLimit paces dequeues from this queue (token-bucket at exactly
+	// this rate with one-packet granularity). Zero means unlimited. Used
+	// for the credit queue.
+	RateLimit units.Rate
+}
+
+// QueueStats accumulates per-queue counters.
+type QueueStats struct {
+	Enqueued     int64 // packets accepted
+	EnqueuedB    int64 // bytes accepted
+	Dequeued     int64
+	Dropped      int64 // all drops
+	DroppedRed   int64 // drops due to the red threshold
+	DroppedOver  int64 // drops due to buffer exhaustion / cap / dynamic threshold
+	Marked       int64 // CE marks applied
+	MaxOccupancy int64 // high-water mark, bytes
+	MaxRed       int64 // high-water mark of red-colored bytes
+}
+
+// queue is a FIFO with byte accounting, CE marking, and selective dropping.
+type queue struct {
+	cfg   QueueConfig
+	pkts  []*Packet
+	head  int
+	bytes int64 // current occupancy in bytes
+	redB  int64 // bytes of Red packets currently queued
+
+	deficit int64 // DWRR deficit counter
+	quantum int64
+
+	nextEligible sim.Time // rate limiter: earliest next dequeue instant
+
+	stats QueueStats
+}
+
+func newQueue(cfg QueueConfig) *queue {
+	w := cfg.Weight
+	if w <= 0 {
+		w = 1
+	}
+	q := &queue{cfg: cfg}
+	// Quantum proportional to weight; the base quantum is one MTU so that
+	// a weight-1 queue can always send a full frame per round.
+	q.quantum = int64(w * 1538)
+	if q.quantum < 64 {
+		q.quantum = 64
+	}
+	return q
+}
+
+func (q *queue) empty() bool     { return q.head >= len(q.pkts) }
+func (q *queue) lenBytes() int64 { return q.bytes }
+
+func (q *queue) headPkt() *Packet {
+	if q.empty() {
+		return nil
+	}
+	return q.pkts[q.head]
+}
+
+func (q *queue) push(p *Packet) {
+	q.pkts = append(q.pkts, p)
+	q.bytes += int64(p.Size)
+	if p.Color == Red {
+		q.redB += int64(p.Size)
+	}
+	q.stats.Enqueued++
+	q.stats.EnqueuedB += int64(p.Size)
+	if q.bytes > q.stats.MaxOccupancy {
+		q.stats.MaxOccupancy = q.bytes
+	}
+	if q.redB > q.stats.MaxRed {
+		q.stats.MaxRed = q.redB
+	}
+}
+
+func (q *queue) pop() *Packet {
+	p := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head++
+	q.bytes -= int64(p.Size)
+	if p.Color == Red {
+		q.redB -= int64(p.Size)
+	}
+	q.stats.Dequeued++
+	// Reclaim space once the slice is fully drained or mostly dead.
+	if q.head >= len(q.pkts) {
+		q.pkts = q.pkts[:0]
+		q.head = 0
+	} else if q.head > 1024 && q.head*2 > len(q.pkts) {
+		n := copy(q.pkts, q.pkts[q.head:])
+		for i := n; i < len(q.pkts); i++ {
+			q.pkts[i] = nil
+		}
+		q.pkts = q.pkts[:n]
+		q.head = 0
+	}
+	return p
+}

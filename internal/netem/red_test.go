@@ -1,0 +1,115 @@
+package netem
+
+import (
+	"testing"
+
+	"flexpass/internal/sim"
+	"flexpass/internal/units"
+)
+
+// fillAndCount backs up a slow port to a steady occupancy and returns the
+// marked fraction of delivered ECN-capable packets.
+func fillAndCount(t *testing.T, cfg QueueConfig, rate units.Rate, n int) float64 {
+	t.Helper()
+	eng := sim.NewEngine(21)
+	p := NewPort(eng, "red", rate, 0, PortConfig{Queues: []QueueConfig{cfg}}, nil)
+	sk := &sink{id: 1, eng: eng}
+	p.Connect(sk)
+	// Offer slightly above line rate so the queue hovers.
+	interval := rate.TxTime(1000) * 9 / 10
+	for i := 0; i < n; i++ {
+		at := sim.Time(i) * interval
+		eng.At(at, func() {
+			p.Send(&Packet{Class: 0, Size: 1000, ECNCapable: true})
+		})
+	}
+	eng.Run(sim.Time(n+1000) * interval)
+	marked := 0
+	for _, pk := range sk.arrived {
+		if pk.CE {
+			marked++
+		}
+	}
+	return float64(marked) / float64(len(sk.arrived))
+}
+
+func TestREDMarksProbabilistically(t *testing.T) {
+	// Queue hovers in the RED band: some, but not all, packets marked.
+	frac := fillAndCount(t, QueueConfig{
+		Name:    "q",
+		REDMin:  2_000,
+		REDMax:  500_000, // far above the standing queue
+		REDPMax: 0.5,
+	}, 1*units.Gbps, 3000)
+	if frac <= 0.001 || frac >= 0.5 {
+		t.Fatalf("RED marked fraction %.3f, want in (0, 0.5)", frac)
+	}
+}
+
+func TestREDMarksAllAboveMax(t *testing.T) {
+	eng := sim.NewEngine(3)
+	cfg := PortConfig{Queues: []QueueConfig{{
+		Name: "q", REDMin: 1_000, REDMax: 3_000, REDPMax: 0.1,
+	}}}
+	p := NewPort(eng, "red2", 1*units.Gbps, 0, cfg, nil)
+	sk := &sink{id: 1, eng: eng}
+	p.Connect(sk)
+	for i := 0; i < 30; i++ {
+		p.Send(&Packet{Class: 0, Size: 1000, ECNCapable: true})
+	}
+	eng.Run(sim.Second)
+	// All packets enqueued after occupancy passed 3000B must be marked.
+	unmarkedLate := 0
+	for i, pk := range sk.arrived {
+		if i >= 5 && !pk.CE {
+			unmarkedLate++
+		}
+	}
+	if unmarkedLate != 0 {
+		t.Fatalf("%d packets above REDMax escaped marking", unmarkedLate)
+	}
+}
+
+func TestREDBelowMinNeverMarks(t *testing.T) {
+	eng := sim.NewEngine(3)
+	cfg := PortConfig{Queues: []QueueConfig{{
+		Name: "q", REDMin: 100_000, REDMax: 200_000, REDPMax: 1,
+	}}}
+	p := NewPort(eng, "red3", 10*units.Gbps, 0, cfg, nil)
+	sk := &sink{id: 1, eng: eng}
+	p.Connect(sk)
+	for i := 0; i < 50; i++ {
+		p.Send(&Packet{Class: 0, Size: 1000, ECNCapable: true})
+	}
+	eng.Run(sim.Second)
+	for _, pk := range sk.arrived {
+		if pk.CE {
+			t.Fatal("packet marked below REDMin")
+		}
+	}
+}
+
+func TestREDTakesPrecedenceOverThreshold(t *testing.T) {
+	// With both configured, RED wins: a tiny hard threshold must be
+	// ignored when the RED band sits higher.
+	eng := sim.NewEngine(3)
+	cfg := PortConfig{Queues: []QueueConfig{{
+		Name:         "q",
+		ECNThreshold: 500, // would mark almost everything
+		REDMin:       50_000,
+		REDMax:       100_000,
+		REDPMax:      1,
+	}}}
+	p := NewPort(eng, "red4", 10*units.Gbps, 0, cfg, nil)
+	sk := &sink{id: 1, eng: eng}
+	p.Connect(sk)
+	for i := 0; i < 20; i++ {
+		p.Send(&Packet{Class: 0, Size: 1000, ECNCapable: true})
+	}
+	eng.Run(sim.Second)
+	for _, pk := range sk.arrived {
+		if pk.CE {
+			t.Fatal("hard threshold applied although RED is configured")
+		}
+	}
+}

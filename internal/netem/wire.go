@@ -1,0 +1,47 @@
+package netem
+
+import "flexpass/internal/units"
+
+// Wire-size constants shared by the transports and the queue profiles.
+// Sizes are on-the-wire bytes including Ethernet framing, matching the
+// paper's prototype (Ethernet + IP + UDP + 18-byte FlexPass header).
+const (
+	// MTUWire is a full-size data frame on the wire.
+	MTUWire = 1538
+	// DataPayload is the application bytes carried by a full frame.
+	DataPayload = 1460
+	// CreditSize is an ExpressPass credit frame (84B minimum frame, as in
+	// the ExpressPass design).
+	CreditSize = 84
+	// AckSize is an ACK frame.
+	AckSize = 84
+	// CtrlSize is a small control frame (credit request / stop).
+	CtrlSize = 84
+)
+
+// CreditRatio is the credit-to-data wire ratio: limiting credits to
+// rate×CreditRatio on a link limits the triggered data to rate on the
+// reverse link.
+const CreditRatio = float64(CreditSize) / float64(MTUWire)
+
+// HeaderOverhead is the per-frame overhead for partial segments.
+const HeaderOverhead = MTUWire - DataPayload
+
+// CreditRateFor returns the credit rate that triggers data at frac of the
+// given line rate (used for both switch credit-queue limits and per-flow
+// pacer ceilings).
+func CreditRateFor(line units.Rate, frac float64) units.Rate {
+	return line.Scale(frac * CreditRatio)
+}
+
+// FrameBytes returns the wire size of a data frame carrying payload bytes.
+func FrameBytes(payload int) int {
+	if payload > DataPayload {
+		payload = DataPayload
+	}
+	sz := payload + HeaderOverhead
+	if sz < 84 {
+		sz = 84
+	}
+	return sz
+}

@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"testing"
+)
+
+// BenchmarkEventChurn measures raw scheduler throughput with a working
+// set typical of a busy fabric (a few thousand pending events).
+func BenchmarkEventChurn(b *testing.B) {
+	e := NewEngine(1)
+	const pending = 4096
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		e.After(Time(1+n%97)*Microsecond, tick)
+	}
+	for i := 0; i < pending; i++ {
+		e.After(Time(i)*Nanosecond, tick)
+	}
+	b.ResetTimer()
+	target := uint64(b.N)
+	for e.Processed < target {
+		e.Run(e.Now() + Millisecond)
+	}
+	b.ReportMetric(float64(e.Processed), "events")
+}
+
+func BenchmarkTimerStop(b *testing.B) {
+	e := NewEngine(1)
+	for i := 0; i < b.N; i++ {
+		t := e.After(Second, func() {})
+		t.Stop()
+		if i%4096 == 0 {
+			e.Run(e.Now()) // drain cancelled placeholders
+		}
+	}
+}

@@ -1,0 +1,312 @@
+// Package topo builds the simulated fabrics the paper evaluates on: a
+// single-switch testbed (2-to-1 and 8-to-1 incast), a dumbbell, and the
+// 3-tier Clos (§6.2: 8 core, 16 agg, 32 ToR, 192 hosts, 8×40G ports per
+// switch, 3:1 ToR oversubscription).
+package topo
+
+import (
+	"fmt"
+
+	"flexpass/internal/netem"
+	"flexpass/internal/sim"
+	"flexpass/internal/units"
+)
+
+// PortProfile builds the queue configuration for an egress port of the
+// given line rate. Schemes provide profiles implementing the paper's queue
+// layouts (Q0 credits / Q1 FlexPass / Q2 legacy, oracle WFQ, naïve single
+// queue, Homa's 8 priorities).
+type PortProfile func(rate units.Rate) netem.PortConfig
+
+// Params carries fabric-wide constants.
+type Params struct {
+	LinkRate   units.Rate     // line rate of every link
+	LinkDelay  sim.Time       // one-way propagation per link
+	HostDelay  sim.Time       // per-packet host processing delay at send
+	SwitchBuf  units.ByteSize // shared buffer per switch
+	BufAlpha   float64        // dynamic threshold factor
+	Profile    PortProfile    // queue layout applied to every port (switch and NIC)
+	HostBufCap bool           // if true, host NICs also use a shared buffer of SwitchBuf
+}
+
+// Fabric is a built topology.
+type Fabric struct {
+	Net    *netem.Network
+	RackOf []int // rack (ToR) index per host; -1 when rack-less (dumbbell sides)
+
+	// TorUplinks lists ToR→Agg egress ports; their aggregate capacity
+	// defines "network load" in §6.2. Empty for non-Clos fabrics.
+	TorUplinks []*netem.Port
+
+	// Bottleneck is the contended port in dumbbell/single-switch setups
+	// (nil for Clos).
+	Bottleneck *netem.Port
+
+	// FlexQueueIndex is the queue index carrying FlexPass data in the
+	// active profile (for occupancy sampling); -1 when not applicable.
+	FlexQueueIndex int
+}
+
+// link creates the two directed ports of a full-duplex link between nodes a
+// and b and wires routing-free delivery (the caller adds routes).
+func link(eng *sim.Engine, name string, a, b netem.Node, rate units.Rate, delay sim.Time, prof PortProfile, sharedA, sharedB *netem.SharedBuffer) (ab, ba *netem.Port) {
+	ab = netem.NewPort(eng, name+":fwd", rate, delay, prof(rate), sharedA)
+	ab.Connect(b)
+	ba = netem.NewPort(eng, name+":rev", rate, delay, prof(rate), sharedB)
+	ba.Connect(a)
+	return ab, ba
+}
+
+// SingleSwitch builds n hosts hanging off one switch — the testbed shape
+// (§6.1: 9 servers and one Tomahawk switch).
+func SingleSwitch(eng *sim.Engine, n int, p Params) *Fabric {
+	net := netem.NewNetwork(eng)
+	shared := netem.NewSharedBuffer(p.SwitchBuf, p.BufAlpha)
+	sw := netem.NewSwitch(eng, net.AllocID(), "sw0", shared)
+	net.AddSwitch(sw)
+	f := &Fabric{Net: net, FlexQueueIndex: 1}
+	for i := 0; i < n; i++ {
+		id := net.AllocID()
+		nic := netem.NewPort(eng, fmt.Sprintf("h%d:nic", i), p.LinkRate, p.LinkDelay, p.Profile(p.LinkRate), nil)
+		h := netem.NewHost(eng, id, fmt.Sprintf("h%d", i), nic, p.HostDelay)
+		nic.Connect(sw)
+		net.AddHost(h)
+		// Switch egress toward the host.
+		down := netem.NewPort(eng, fmt.Sprintf("sw0->h%d", i), p.LinkRate, p.LinkDelay, p.Profile(p.LinkRate), shared)
+		down.Connect(h)
+		sw.AddPort(down)
+		sw.AddRoute(id, down)
+		f.RackOf = append(f.RackOf, 0)
+	}
+	if len(sw.Ports()) > 0 {
+		f.Bottleneck = sw.Ports()[0]
+	}
+	return f
+}
+
+// Dumbbell builds nL senders and nR receivers joined by two switches with a
+// single bottleneck link of rate bottleneck (Fig 1: 10Gbps).
+func Dumbbell(eng *sim.Engine, nL, nR int, bottleneck units.Rate, p Params) *Fabric {
+	net := netem.NewNetwork(eng)
+	sharedL := netem.NewSharedBuffer(p.SwitchBuf, p.BufAlpha)
+	sharedR := netem.NewSharedBuffer(p.SwitchBuf, p.BufAlpha)
+	swL := netem.NewSwitch(eng, net.AllocID(), "swL", sharedL)
+	swR := netem.NewSwitch(eng, net.AllocID(), "swR", sharedR)
+	net.AddSwitch(swL)
+	net.AddSwitch(swR)
+
+	lr, rl := link(eng, "core", swL, swR, bottleneck, p.LinkDelay, p.Profile, sharedL, sharedR)
+	swL.AddPort(lr)
+	swR.AddPort(rl)
+
+	f := &Fabric{Net: net, Bottleneck: lr, FlexQueueIndex: 1}
+
+	addHost := func(sw *netem.Switch, shared *netem.SharedBuffer, name string) netem.NodeID {
+		id := net.AllocID()
+		nic := netem.NewPort(eng, name+":nic", p.LinkRate, p.LinkDelay, p.Profile(p.LinkRate), nil)
+		h := netem.NewHost(eng, id, name, nic, p.HostDelay)
+		nic.Connect(sw)
+		net.AddHost(h)
+		down := netem.NewPort(eng, "sw->"+name, p.LinkRate, p.LinkDelay, p.Profile(p.LinkRate), shared)
+		down.Connect(h)
+		sw.AddPort(down)
+		sw.AddRoute(id, down)
+		f.RackOf = append(f.RackOf, -1)
+		return id
+	}
+	var left, right []netem.NodeID
+	for i := 0; i < nL; i++ {
+		left = append(left, addHost(swL, sharedL, fmt.Sprintf("l%d", i)))
+	}
+	for i := 0; i < nR; i++ {
+		right = append(right, addHost(swR, sharedR, fmt.Sprintf("r%d", i)))
+	}
+	for _, id := range right {
+		swL.AddRoute(id, lr)
+	}
+	for _, id := range left {
+		swR.AddRoute(id, rl)
+	}
+	return f
+}
+
+// ClosParams sizes a 3-tier Clos. Cores must be divisible by AggPerPod;
+// each agg in a pod uplinks to Cores/AggPerPod distinct cores.
+type ClosParams struct {
+	Pods        int
+	AggPerPod   int
+	TorPerPod   int
+	HostsPerTor int
+	Cores       int
+}
+
+// PaperClos is the §6.2 fabric: 8 core, 16 agg (2/pod × 8 pods), 32 ToR,
+// 192 hosts, 3:1 oversubscription at the ToR (6 down / 2 up).
+var PaperClos = ClosParams{Pods: 8, AggPerPod: 2, TorPerPod: 4, HostsPerTor: 6, Cores: 8}
+
+// SmallClos is a scaled-down fabric with the same 3:1 ToR oversubscription
+// for tests and benchmarks: 2 core, 4 agg, 8 ToR, 48 hosts.
+var SmallClos = ClosParams{Pods: 4, AggPerPod: 1, TorPerPod: 2, HostsPerTor: 6, Cores: 2}
+
+// Hosts returns the host count of the fabric.
+func (c ClosParams) Hosts() int { return c.Pods * c.TorPerPod * c.HostsPerTor }
+
+// Clos builds the 3-tier fabric with ECMP routing and symmetric hashing.
+func Clos(eng *sim.Engine, c ClosParams, p Params) *Fabric {
+	if c.Cores%c.AggPerPod != 0 {
+		panic("topo: Cores must be divisible by AggPerPod")
+	}
+	upPerAgg := c.Cores / c.AggPerPod
+	net := netem.NewNetwork(eng)
+	f := &Fabric{Net: net, FlexQueueIndex: 1}
+
+	newSwitch := func(name string) *netem.Switch {
+		sh := netem.NewSharedBuffer(p.SwitchBuf, p.BufAlpha)
+		sw := netem.NewSwitch(eng, net.AllocID(), name, sh)
+		net.AddSwitch(sw)
+		return sw
+	}
+
+	cores := make([]*netem.Switch, c.Cores)
+	for i := range cores {
+		cores[i] = newSwitch(fmt.Sprintf("core%d", i))
+	}
+	aggs := make([][]*netem.Switch, c.Pods) // [pod][a]
+	tors := make([][]*netem.Switch, c.Pods) // [pod][t]
+	hostIDs := make([][][]netem.NodeID, c.Pods)
+	for pod := 0; pod < c.Pods; pod++ {
+		aggs[pod] = make([]*netem.Switch, c.AggPerPod)
+		for a := range aggs[pod] {
+			aggs[pod][a] = newSwitch(fmt.Sprintf("agg%d.%d", pod, a))
+		}
+		tors[pod] = make([]*netem.Switch, c.TorPerPod)
+		hostIDs[pod] = make([][]netem.NodeID, c.TorPerPod)
+		for t := range tors[pod] {
+			tors[pod][t] = newSwitch(fmt.Sprintf("tor%d.%d", pod, t))
+		}
+	}
+
+	// Hosts and host<->ToR links.
+	rack := 0
+	for pod := 0; pod < c.Pods; pod++ {
+		for t := 0; t < c.TorPerPod; t++ {
+			tor := tors[pod][t]
+			for hidx := 0; hidx < c.HostsPerTor; hidx++ {
+				id := net.AllocID()
+				name := fmt.Sprintf("h%d.%d.%d", pod, t, hidx)
+				nic := netem.NewPort(eng, name+":nic", p.LinkRate, p.LinkDelay, p.Profile(p.LinkRate), nil)
+				h := netem.NewHost(eng, id, name, nic, p.HostDelay)
+				nic.Connect(tor)
+				net.AddHost(h)
+				down := netem.NewPort(eng, tor.Name()+"->"+name, p.LinkRate, p.LinkDelay, p.Profile(p.LinkRate), tor.Shared())
+				down.Connect(h)
+				tor.AddPort(down)
+				tor.AddRoute(id, down)
+				hostIDs[pod][t] = append(hostIDs[pod][t], id)
+				f.RackOf = append(f.RackOf, rack)
+			}
+			rack++
+		}
+	}
+
+	// ToR <-> Agg links: every ToR connects to every agg of its pod.
+	torUp := make([][][]*netem.Port, c.Pods) // [pod][t][a] ToR→agg
+	aggDown := make([][][]*netem.Port, c.Pods)
+	for pod := 0; pod < c.Pods; pod++ {
+		torUp[pod] = make([][]*netem.Port, c.TorPerPod)
+		aggDown[pod] = make([][]*netem.Port, c.AggPerPod)
+		for a := 0; a < c.AggPerPod; a++ {
+			aggDown[pod][a] = make([]*netem.Port, c.TorPerPod)
+		}
+		for t := 0; t < c.TorPerPod; t++ {
+			tor := tors[pod][t]
+			torUp[pod][t] = make([]*netem.Port, c.AggPerPod)
+			for a := 0; a < c.AggPerPod; a++ {
+				agg := aggs[pod][a]
+				up, down := link(eng, fmt.Sprintf("%s<->%s", tor.Name(), agg.Name()),
+					tor, agg, p.LinkRate, p.LinkDelay, p.Profile, tor.Shared(), agg.Shared())
+				tor.AddPort(up)
+				agg.AddPort(down)
+				torUp[pod][t][a] = up
+				aggDown[pod][a][t] = down
+				f.TorUplinks = append(f.TorUplinks, up)
+			}
+		}
+	}
+
+	// Agg <-> Core links: agg a uplinks to cores [a*upPerAgg, (a+1)*upPerAgg).
+	aggUp := make([][][]*netem.Port, c.Pods)   // [pod][a][u]
+	coreDown := make([][]*netem.Port, c.Cores) // [core][pod]
+	for i := range coreDown {
+		coreDown[i] = make([]*netem.Port, c.Pods)
+	}
+	for pod := 0; pod < c.Pods; pod++ {
+		aggUp[pod] = make([][]*netem.Port, c.AggPerPod)
+		for a := 0; a < c.AggPerPod; a++ {
+			agg := aggs[pod][a]
+			for u := 0; u < upPerAgg; u++ {
+				coreIdx := a*upPerAgg + u
+				core := cores[coreIdx]
+				up, down := link(eng, fmt.Sprintf("%s<->%s", agg.Name(), core.Name()),
+					agg, core, p.LinkRate, p.LinkDelay, p.Profile, agg.Shared(), core.Shared())
+				agg.AddPort(up)
+				core.AddPort(down)
+				aggUp[pod][a] = append(aggUp[pod][a], up)
+				coreDown[coreIdx][pod] = down
+			}
+		}
+	}
+
+	// Routing.
+	for pod := 0; pod < c.Pods; pod++ {
+		// ToR routes: other hosts via agg uplinks (ECMP across aggs).
+		for t := 0; t < c.TorPerPod; t++ {
+			tor := tors[pod][t]
+			for p2 := 0; p2 < c.Pods; p2++ {
+				for t2 := 0; t2 < c.TorPerPod; t2++ {
+					if p2 == pod && t2 == t {
+						continue
+					}
+					for _, dst := range hostIDs[p2][t2] {
+						tor.AddRoute(dst, torUp[pod][t]...)
+					}
+				}
+			}
+		}
+		// Agg routes: intra-pod hosts down to their ToR, inter-pod up to
+		// cores (ECMP across this agg's uplinks).
+		for a := 0; a < c.AggPerPod; a++ {
+			agg := aggs[pod][a]
+			for t := 0; t < c.TorPerPod; t++ {
+				for _, dst := range hostIDs[pod][t] {
+					agg.AddRoute(dst, aggDown[pod][a][t])
+				}
+			}
+			for p2 := 0; p2 < c.Pods; p2++ {
+				if p2 == pod {
+					continue
+				}
+				for t2 := 0; t2 < c.TorPerPod; t2++ {
+					for _, dst := range hostIDs[p2][t2] {
+						agg.AddRoute(dst, aggUp[pod][a]...)
+					}
+				}
+			}
+		}
+	}
+	// Core routes: each pod's hosts via the core's link to that pod's agg.
+	for coreIdx := 0; coreIdx < c.Cores; coreIdx++ {
+		for pod := 0; pod < c.Pods; pod++ {
+			down := coreDown[coreIdx][pod]
+			if down == nil {
+				continue
+			}
+			for t := 0; t < c.TorPerPod; t++ {
+				for _, dst := range hostIDs[pod][t] {
+					cores[coreIdx].AddRoute(dst, down)
+				}
+			}
+		}
+	}
+	return f
+}

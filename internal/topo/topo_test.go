@@ -1,0 +1,244 @@
+package topo
+
+import (
+	"testing"
+
+	"flexpass/internal/netem"
+	"flexpass/internal/sim"
+	"flexpass/internal/units"
+)
+
+func testParams() Params {
+	return Params{
+		LinkRate:  40 * units.Gbps,
+		LinkDelay: 2 * sim.Microsecond,
+		HostDelay: 1 * sim.Microsecond,
+		SwitchBuf: 4500 * units.KB,
+		BufAlpha:  0.25,
+		Profile:   FlexPassProfile(Spec{}),
+	}
+}
+
+// deliver sends one packet from host src to host dst and returns the
+// arrival time, or -1 if it never arrived.
+func deliver(t *testing.T, f *Fabric, src, dst int) sim.Time {
+	t.Helper()
+	eng := f.Net.Eng
+	arrived := sim.Time(-1)
+	f.Net.Host(dst).SetHandler(func(p *netem.Packet) { arrived = eng.Now() })
+	pkt := &netem.Packet{
+		Kind:  netem.KindLegacyData,
+		Class: netem.ClassLegacy,
+		Dst:   f.Net.Host(dst).NodeID(),
+		Flow:  uint64(src*1000 + dst),
+		Size:  netem.MTUWire,
+	}
+	start := eng.Now()
+	f.Net.Host(src).Send(pkt)
+	eng.Run(eng.Now() + 10*sim.Millisecond)
+	if arrived < 0 {
+		return -1
+	}
+	return arrived - start
+}
+
+func TestSingleSwitchConnectivity(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := SingleSwitch(eng, 4, testParams())
+	for s := 0; s < 4; s++ {
+		for d := 0; d < 4; d++ {
+			if s == d {
+				continue
+			}
+			if got := deliver(t, f, s, d); got < 0 {
+				t.Fatalf("no delivery %d->%d", s, d)
+			}
+		}
+	}
+}
+
+func TestDumbbellConnectivityAndBottleneck(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := Dumbbell(eng, 2, 2, 10*units.Gbps, testParams())
+	if f.Bottleneck == nil {
+		t.Fatal("no bottleneck port")
+	}
+	if got := deliver(t, f, 0, 2); got < 0 {
+		t.Fatal("left->right delivery failed")
+	}
+	if f.Bottleneck.Stats().TxPackets == 0 {
+		t.Fatal("bottleneck did not carry the packet")
+	}
+}
+
+func TestPaperClosShape(t *testing.T) {
+	c := PaperClos
+	if c.Hosts() != 192 {
+		t.Fatalf("paper Clos has %d hosts, want 192", c.Hosts())
+	}
+	eng := sim.NewEngine(1)
+	f := Clos(eng, c, testParams())
+	if len(f.Net.Hosts) != 192 {
+		t.Fatalf("built %d hosts", len(f.Net.Hosts))
+	}
+	// 8 core + 16 agg + 32 ToR = 56 switches.
+	if len(f.Net.Switches) != 56 {
+		t.Fatalf("built %d switches, want 56", len(f.Net.Switches))
+	}
+	// 32 ToR × 2 uplinks.
+	if len(f.TorUplinks) != 64 {
+		t.Fatalf("%d ToR uplinks, want 64", len(f.TorUplinks))
+	}
+	// Racks: 6 hosts per rack, 32 racks.
+	if f.RackOf[0] != 0 || f.RackOf[5] != 0 || f.RackOf[6] != 1 || f.RackOf[191] != 31 {
+		t.Fatalf("rack assignment wrong: %v...", f.RackOf[:8])
+	}
+}
+
+func TestClosAllPairsConnectivity(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := Clos(eng, SmallClos, testParams())
+	n := len(f.Net.Hosts)
+	// Spot-check a spread of pairs including intra-rack, intra-pod, and
+	// cross-pod.
+	pairs := [][2]int{{0, 1}, {0, 7}, {0, n - 1}, {n - 1, 0}, {13, 25}, {25, 13}}
+	for _, pr := range pairs {
+		if got := deliver(t, f, pr[0], pr[1]); got < 0 {
+			t.Fatalf("no delivery %d->%d", pr[0], pr[1])
+		}
+	}
+}
+
+func TestClosBaseRTT(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := Clos(eng, PaperClos, testParams())
+	// Cross-pod one-way: 6 links × 2us prop + 1us host delay + 6×serialization.
+	// Host 0 (pod 0) to host 191 (pod 7).
+	oneWay := deliver(t, f, 0, 191)
+	if oneWay < 0 {
+		t.Fatal("no delivery")
+	}
+	ser := (40 * units.Gbps).TxTime(netem.MTUWire) // per hop store-and-forward
+	want := 6*2*sim.Microsecond + 1*sim.Microsecond + 6*ser
+	if oneWay != want {
+		t.Fatalf("one-way latency %v, want %v", oneWay, want)
+	}
+	// Base RTT for a minimum-size probe both ways ≈ 28us as §6.2 states
+	// (12 propagation traversals + 4 host delays, serialization excluded).
+	base := 12*2*sim.Microsecond + 4*1*sim.Microsecond
+	if base != 28*sim.Microsecond {
+		t.Fatalf("base RTT parameterization drifted: %v", base)
+	}
+}
+
+func TestClosECMPUsesAllUplinks(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := Clos(eng, PaperClos, testParams())
+	// Blast flows from pod 0 to pod 1 and check multiple ToR uplinks carry
+	// traffic.
+	dst := f.Net.Host(30).NodeID() // some host in pod 1 (hosts 24..47)
+	src := f.Net.Host(0)
+	for fl := uint64(0); fl < 64; fl++ {
+		src.Send(&netem.Packet{
+			Kind: netem.KindLegacyData, Class: netem.ClassLegacy,
+			Dst: dst, Flow: fl, Size: netem.MTUWire,
+		})
+	}
+	eng.Run(5 * sim.Millisecond)
+	used := 0
+	for _, up := range f.TorUplinks[:2] { // ToR 0's two uplinks
+		if up.Stats().TxPackets > 0 {
+			used++
+		}
+	}
+	if used != 2 {
+		t.Fatalf("ECMP used %d of 2 uplinks of ToR0", used)
+	}
+}
+
+func TestProfilesBuild(t *testing.T) {
+	specs := []PortProfile{
+		FlexPassProfile(Spec{}),
+		OWFProfile(Spec{WQ: 0.3}),
+		NaiveProfile(Spec{}),
+		LayeringProfile(Spec{}),
+		AltQueueProfile(Spec{}),
+		HomaProfile(100 * units.KB),
+		PlainProfile(100 * units.KB),
+	}
+	for i, prof := range specs {
+		cfg := prof(40 * units.Gbps)
+		if len(cfg.Queues) == 0 {
+			t.Fatalf("profile %d built no queues", i)
+		}
+	}
+	// FlexPass credit limit: wq=0.5 at 40G → 0.5×40G×84/1538 ≈ 1.09Gbps.
+	cfg := FlexPassProfile(Spec{})(40 * units.Gbps)
+	rl := cfg.Queues[0].RateLimit
+	if rl < 1000*units.Mbps || rl > 1200*units.Mbps {
+		t.Fatalf("credit rate limit = %v, want ~1.09Gbps", rl)
+	}
+}
+
+func TestNaiveProfileClassifier(t *testing.T) {
+	cfg := NaiveProfile(Spec{})(10 * units.Gbps)
+	if cfg.Classify == nil {
+		t.Fatal("naive profile needs a classifier")
+	}
+	if got := cfg.Classify(&netem.Packet{Class: netem.ClassCredit}); got != 0 {
+		t.Fatalf("credit class -> queue %d, want 0", got)
+	}
+	for _, cl := range []netem.Class{netem.ClassFlex, netem.ClassLegacy} {
+		if got := cfg.Classify(&netem.Packet{Class: cl}); got != 1 {
+			t.Fatalf("class %d -> queue %d, want shared queue 1", cl, got)
+		}
+	}
+	// Full-rate credits: limit ≈ C × 84/1538.
+	want := netem.CreditRateFor(10*units.Gbps, 1.0)
+	if cfg.Queues[0].RateLimit != want {
+		t.Fatalf("naive credit limit %v, want %v", cfg.Queues[0].RateLimit, want)
+	}
+}
+
+func TestOWFProfileNoSelectiveDropping(t *testing.T) {
+	cfg := OWFProfile(Spec{WQ: 0.3})(40 * units.Gbps)
+	if cfg.Queues[1].RedDropThreshold != 0 {
+		t.Fatal("oWF Q1 must not selectively drop (pure ExpressPass)")
+	}
+	if cfg.Queues[1].ECNThreshold != 0 {
+		t.Fatal("oWF Q1 must not mark (ExpressPass data is not ECT anyway)")
+	}
+	if cfg.Queues[1].Weight != 0.3 || cfg.Queues[2].Weight != 0.7 {
+		t.Fatalf("oWF weights %v/%v, want 0.3/0.7", cfg.Queues[1].Weight, cfg.Queues[2].Weight)
+	}
+}
+
+func TestAltQueueProfileShape(t *testing.T) {
+	cfg := AltQueueProfile(Spec{})(40 * units.Gbps)
+	if len(cfg.Queues) != 3 {
+		t.Fatalf("%d queues", len(cfg.Queues))
+	}
+	// Reactive lives in Q2 with legacy: Q1 carries only paced proactive
+	// data, so no red threshold there.
+	if cfg.Queues[1].RedDropThreshold != 0 {
+		t.Fatal("AltQ Q1 should not need selective dropping")
+	}
+	if cfg.Queues[2].ECNThreshold == 0 {
+		t.Fatal("AltQ Q2 needs ECN for DCTCP and the reactive sub-flow")
+	}
+}
+
+func TestHomaProfileEightPriorities(t *testing.T) {
+	cfg := HomaProfile(100 * units.KB)(10 * units.Gbps)
+	if len(cfg.Queues) != 8 {
+		t.Fatalf("%d queues, want 8", len(cfg.Queues))
+	}
+	for i, q := range cfg.Queues {
+		if q.Band != i {
+			t.Fatalf("queue %d band %d; want strict priority ladder", i, q.Band)
+		}
+	}
+	if cfg.Queues[0].ECNThreshold == 0 {
+		t.Fatal("P0 needs the DCTCP marking threshold")
+	}
+}

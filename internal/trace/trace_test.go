@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"flexpass/internal/sim"
+)
+
+func TestNilRingNoOps(t *testing.T) {
+	var r *Ring
+	r.Add(Drop, 1, 2, "x") // must not panic
+	r.Addf(Mark, 1, 2, "y %d", 3)
+	if r.Len() != 0 || r.Events() != nil || r.Overwritten() != 0 {
+		t.Fatal("nil ring must be empty")
+	}
+}
+
+func TestRingRecordsInOrder(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := NewRing(eng, 10)
+	for i := 0; i < 5; i++ {
+		i := i
+		eng.At(sim.Time(i)*sim.Microsecond, func() {
+			r.Add(Retransmit, uint64(i), int64(i), "")
+		})
+	}
+	eng.Run(sim.Second)
+	evs := r.Events()
+	if len(evs) != 5 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Flow != uint64(i) || ev.At != sim.Time(i)*sim.Microsecond {
+			t.Fatalf("event %d out of order: %+v", i, ev)
+		}
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	r := NewRing(nil, 4)
+	for i := 0; i < 10; i++ {
+		r.Add(Drop, uint64(i), 0, "")
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len = %d, want 4", len(evs))
+	}
+	if evs[0].Flow != 6 || evs[3].Flow != 9 {
+		t.Fatalf("wrapped order wrong: %d..%d", evs[0].Flow, evs[3].Flow)
+	}
+	if r.Overwritten() != 6 {
+		t.Fatalf("overwritten = %d", r.Overwritten())
+	}
+}
+
+func TestFilterAndDump(t *testing.T) {
+	r := NewRing(nil, 16)
+	r.Add(Drop, 1, 10, "red")
+	r.Add(Mark, 2, 11, "ce")
+	r.Add(Drop, 3, 12, "buffer")
+	drops := r.Filter(func(e Event) bool { return e.Kind == Drop })
+	if len(drops) != 2 {
+		t.Fatalf("drops = %d", len(drops))
+	}
+	s := r.String()
+	if !strings.Contains(s, "drop") || !strings.Contains(s, "mark") {
+		t.Fatalf("dump missing kinds:\n%s", s)
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	if FlowStart.String() != "flow-start" || Custom.String() != "custom" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(200).String() != "unknown" {
+		t.Fatal("unknown kind should be labelled")
+	}
+}

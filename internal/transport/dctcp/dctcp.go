@@ -1,0 +1,337 @@
+package dctcp
+
+import (
+	"flexpass/internal/netem"
+	"flexpass/internal/sim"
+	"flexpass/internal/transport"
+)
+
+// Config parameterizes a DCTCP connection. The class/kind fields let the
+// same engine serve plain legacy traffic (legacy classes) and embedded
+// uses.
+type Config struct {
+	DataClass netem.Class
+	AckClass  netem.Class
+	DataKind  netem.Kind
+	AckKind   netem.Kind
+	Color     netem.Color
+	InitCwnd  float64
+	MinRTO    sim.Time
+	// DupThresh is the duplicate-ACK / SACK reordering threshold.
+	DupThresh int
+}
+
+// LegacyConfig returns the paper's legacy-traffic configuration: data and
+// ACKs in the legacy queue, ECN-capable, iw=10, RTOmin=4ms.
+func LegacyConfig() Config {
+	return Config{
+		DataClass: netem.ClassLegacy,
+		AckClass:  netem.ClassLegacy,
+		DataKind:  netem.KindLegacyData,
+		AckKind:   netem.KindLegacyAck,
+		Color:     netem.Green,
+		InitCwnd:  10,
+		MinRTO:    4 * sim.Millisecond,
+		DupThresh: 3,
+	}
+}
+
+// Segment states at the sender.
+const (
+	segPending uint8 = iota
+	segSent
+	segAcked
+	segLost
+)
+
+// Sender is the DCTCP send side of one flow.
+type Sender struct {
+	cfg  Config
+	eng  *sim.Engine
+	flow *transport.Flow
+	win  *Window
+
+	state    []uint8
+	lostQ    []int // FIFO of segments marked lost, pending retransmit
+	nextNew  int
+	cumAck   int
+	sackHigh int // highest sub-flow seq acknowledged
+	inflight int
+	dupAcks  int
+
+	srtt, rttvar sim.Time
+	lastProgress sim.Time
+	rtoBackoff   uint // consecutive RTOs (exponential backoff)
+	rtoPending   bool
+	recoverEdge  int
+	finished     bool
+}
+
+// NewSender builds the send side; call Begin to start transmitting.
+func NewSender(eng *sim.Engine, flow *transport.Flow, cfg Config) *Sender {
+	return &Sender{
+		cfg:   cfg,
+		eng:   eng,
+		flow:  flow,
+		win:   NewWindow(cfg.InitCwnd),
+		state: make([]uint8, flow.Segs()),
+	}
+}
+
+// Begin starts the flow (first window of packets).
+func (s *Sender) Begin() { s.sendMore() }
+
+// Finished reports whether every segment has been cumulatively acked.
+func (s *Sender) Finished() bool { return s.finished }
+
+// Cwnd exposes the congestion window for tests.
+func (s *Sender) Cwnd() float64 { return s.win.Cwnd }
+
+func (s *Sender) sendMore() {
+	segs := s.flow.Segs()
+	for s.inflight < int(s.win.Cwnd) {
+		seq := -1
+		retx := false
+		for len(s.lostQ) > 0 {
+			cand := s.lostQ[0]
+			s.lostQ = s.lostQ[1:]
+			if s.state[cand] == segLost {
+				seq = cand
+				retx = true
+				break
+			}
+		}
+		if seq < 0 {
+			if s.nextNew >= segs {
+				break
+			}
+			seq = s.nextNew
+			s.nextNew++
+		}
+		s.transmit(seq, retx)
+	}
+	s.armRTO()
+}
+
+func (s *Sender) transmit(seq int, retx bool) {
+	s.state[seq] = segSent
+	s.inflight++
+	if retx {
+		s.flow.Retransmits++
+	}
+	pkt := &netem.Packet{
+		Kind:       s.cfg.DataKind,
+		Class:      s.cfg.DataClass,
+		Color:      s.cfg.Color,
+		ECNCapable: true,
+		Dst:        s.flow.Dst.Host.NodeID(),
+		Flow:       s.flow.ID,
+		Seq:        uint32(seq),
+		SubSeq:     uint32(seq), // plain DCTCP: sub-flow seq == flow seq
+		Size:       s.flow.SegWire(seq),
+		SentAt:     s.eng.Now(),
+	}
+	s.flow.Src.Host.Send(pkt)
+}
+
+func (s *Sender) rto() sim.Time {
+	r := s.cfg.MinRTO
+	if s.srtt != 0 {
+		if est := s.srtt + 4*s.rttvar; est > r {
+			r = est
+		}
+	}
+	// Exponential backoff on consecutive timeouts, capped at 64x.
+	bo := s.rtoBackoff
+	if bo > 6 {
+		bo = 6
+	}
+	return r << bo
+}
+
+// armRTO uses a lazy deadline: rather than cancelling and recreating a
+// timer per ACK (which floods the event heap), the pending timer fires and
+// re-checks the true deadline derived from the last progress time.
+func (s *Sender) armRTO() {
+	s.lastProgress = s.eng.Now()
+	if s.rtoPending || s.inflight == 0 || s.finished {
+		return
+	}
+	s.rtoPending = true
+	s.eng.After(s.rto(), s.checkRTO)
+}
+
+func (s *Sender) checkRTO() {
+	s.rtoPending = false
+	if s.finished || s.inflight == 0 {
+		return
+	}
+	deadline := s.lastProgress + s.rto()
+	if now := s.eng.Now(); now < deadline {
+		s.rtoPending = true
+		s.eng.At(deadline, s.checkRTO)
+		return
+	}
+	s.onTimeout()
+}
+
+func (s *Sender) onTimeout() {
+	if s.finished {
+		return
+	}
+	s.flow.Timeouts++
+	s.rtoBackoff++
+	s.win.OnTimeout()
+	s.dupAcks = 0
+	for seq := s.cumAck; seq < s.nextNew; seq++ {
+		if s.state[seq] == segSent {
+			s.state[seq] = segLost
+			s.inflight--
+			s.lostQ = append(s.lostQ, seq)
+		}
+	}
+	s.recoverEdge = s.nextNew
+	s.sendMore()
+}
+
+// Handle processes ACKs. ACK wire encoding (see package doc): SubSeq =
+// cumulative in-order count, Seq = sub-flow seq that triggered the ACK,
+// CE = ECN echo, SentAt = original data timestamp.
+func (s *Sender) Handle(pkt *netem.Packet) {
+	if pkt.Kind != s.cfg.AckKind || s.finished {
+		return
+	}
+	cum := int(pkt.SubSeq)
+	sack := int(pkt.Seq)
+
+	// RTT sample.
+	sample := s.eng.Now() - pkt.SentAt
+	if s.srtt == 0 {
+		s.srtt = sample
+		s.rttvar = sample / 2
+	} else {
+		d := sample - s.srtt
+		if d < 0 {
+			d = -d
+		}
+		s.rttvar = (3*s.rttvar + d) / 4
+		s.srtt = (7*s.srtt + sample) / 8
+	}
+
+	// Mark the sacked segment.
+	if sack < len(s.state) && s.state[sack] == segSent {
+		s.state[sack] = segAcked
+		s.inflight--
+	} else if sack < len(s.state) && s.state[sack] == segLost {
+		// Arrived after being declared lost: count it acked; the
+		// retransmit, if it happens, will be acked as a duplicate.
+		s.state[sack] = segAcked
+	}
+	if sack > s.sackHigh {
+		s.sackHigh = sack
+	}
+
+	advanced := cum > s.cumAck
+	if advanced {
+		for seq := s.cumAck; seq < cum && seq < len(s.state); seq++ {
+			switch s.state[seq] {
+			case segSent:
+				s.inflight--
+			}
+			s.state[seq] = segAcked
+		}
+		s.cumAck = cum
+		s.dupAcks = 0
+		s.rtoBackoff = 0
+	} else if sack >= s.cumAck {
+		s.dupAcks++
+	}
+
+	s.win.OnAck(cum, s.nextNew, pkt.CE)
+
+	// SACK-style loss inference: with DupThresh duplicate ACKs, everything
+	// sent but unacked more than DupThresh below the highest SACK is lost.
+	if s.dupAcks >= s.cfg.DupThresh {
+		edge := s.sackHigh - s.cfg.DupThresh + 1
+		newLoss := false
+		for seq := s.cumAck; seq < edge && seq < len(s.state); seq++ {
+			if s.state[seq] == segSent {
+				s.state[seq] = segLost
+				s.inflight--
+				s.lostQ = append(s.lostQ, seq)
+				newLoss = true
+			}
+		}
+		if newLoss && s.cumAck >= s.recoverEdge {
+			s.win.OnLoss(s.cumAck, s.nextNew)
+			s.recoverEdge = s.nextNew
+		}
+	}
+
+	if s.cumAck >= s.flow.Segs() {
+		s.finished = true
+		return
+	}
+	s.sendMore()
+}
+
+// Receiver is the DCTCP receive side of one flow. It acknowledges every
+// data packet and completes the flow when all bytes have arrived.
+type Receiver struct {
+	cfg  Config
+	eng  *sim.Engine
+	flow *transport.Flow
+
+	got      []bool
+	cum      int
+	received int
+}
+
+// NewReceiver builds the receive side.
+func NewReceiver(eng *sim.Engine, flow *transport.Flow, cfg Config) *Receiver {
+	return &Receiver{cfg: cfg, eng: eng, flow: flow, got: make([]bool, flow.Segs())}
+}
+
+// Handle processes data packets.
+func (r *Receiver) Handle(pkt *netem.Packet) {
+	if pkt.Kind != r.cfg.DataKind {
+		return
+	}
+	seq := int(pkt.SubSeq)
+	if seq < len(r.got) && !r.got[seq] {
+		r.got[seq] = true
+		r.received++
+		r.flow.RxBytes += int64(r.flow.SegPayload(seq))
+		for r.cum < len(r.got) && r.got[r.cum] {
+			r.cum++
+		}
+	} else {
+		r.flow.RedundantSegs++
+	}
+	ack := &netem.Packet{
+		Kind:   r.cfg.AckKind,
+		Class:  r.cfg.AckClass,
+		Dst:    r.flow.Src.Host.NodeID(),
+		Flow:   r.flow.ID,
+		Seq:    pkt.SubSeq,
+		SubSeq: uint32(r.cum),
+		CE:     pkt.CE,
+		Size:   netem.AckSize,
+		SentAt: pkt.SentAt,
+	}
+	r.flow.Dst.Host.Send(ack)
+	if r.received >= r.flow.Segs() {
+		r.flow.Complete(r.eng.Now())
+	}
+}
+
+// Start wires a DCTCP sender/receiver pair onto the flow's agents and
+// begins transmission immediately.
+func Start(eng *sim.Engine, flow *transport.Flow, cfg Config) (*Sender, *Receiver) {
+	s := NewSender(eng, flow, cfg)
+	r := NewReceiver(eng, flow, cfg)
+	flow.Src.Register(flow.ID, s)
+	flow.Dst.Register(flow.ID, r)
+	s.Begin()
+	return s, r
+}

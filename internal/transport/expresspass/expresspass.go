@@ -1,0 +1,358 @@
+package expresspass
+
+import (
+	"flexpass/internal/netem"
+	"flexpass/internal/sim"
+	"flexpass/internal/transport"
+	"flexpass/internal/transport/dctcp"
+)
+
+// Config parameterizes an ExpressPass connection.
+type Config struct {
+	DataClass netem.Class
+	AckClass  netem.Class
+	Pacer     PacerConfig
+
+	// DataECN makes data packets ECN-capable (used by the layering
+	// scheme, where ExpressPass data must carry DCTCP's congestion
+	// signal).
+	DataECN bool
+
+	// Layered enables the LY scheme (§6.2): a DCTCP window on top of the
+	// credit loop; a credit may only trigger a send when the window has
+	// room.
+	Layered bool
+
+	// MinRTO is the credit re-request recovery timer.
+	MinRTO sim.Time
+}
+
+// DefaultConfig returns the paper's ExpressPass setup for a flow whose
+// per-flow credit ceiling is maxCredit.
+func DefaultConfig(p PacerConfig) Config {
+	return Config{
+		DataClass: netem.ClassFlex,
+		AckClass:  netem.ClassFlex,
+		Pacer:     p,
+		MinRTO:    4 * sim.Millisecond,
+	}
+}
+
+// Segment states (shared shape with dctcp's sender).
+const (
+	segPending uint8 = iota
+	segSent
+	segAcked
+	segLost
+)
+
+// Sender is the ExpressPass send side: data leaves only when a credit
+// arrives.
+type Sender struct {
+	cfg  Config
+	eng  *sim.Engine
+	flow *transport.Flow
+
+	state    []uint8
+	lostQ    []int
+	nextNew  int
+	cumAck   int
+	sackHigh int
+	dupAcks  int
+	oldest   int  // scan pointer for tail retransmission
+	rescanOK bool // a fresh ACK arrived since the last full tail rescan
+
+	// Layering state.
+	win      *dctcp.Window
+	inflight int
+
+	recoverPending bool
+	recoverBackoff uint
+	lastProgress   sim.Time
+	finished       bool
+}
+
+// NewSender builds the send side; Begin issues the credit request.
+func NewSender(eng *sim.Engine, flow *transport.Flow, cfg Config) *Sender {
+	s := &Sender{
+		cfg:   cfg,
+		eng:   eng,
+		flow:  flow,
+		state: make([]uint8, flow.Segs()),
+	}
+	if cfg.Layered {
+		s.win = dctcp.NewWindow(10)
+	}
+	return s
+}
+
+// Begin sends the credit request. ExpressPass spends the first RTT on the
+// request/credit exchange (the paper's motivation for FlexPass's reactive
+// first RTT).
+func (s *Sender) Begin() {
+	s.sendRequest()
+	s.armRecovery()
+}
+
+// Finished reports send-side completion.
+func (s *Sender) Finished() bool { return s.finished }
+
+// sendRequest issues the credit request as a control packet in the data
+// path (not the rate-limited credit queue), so synchronized flow starts do
+// not lose their requests to the tiny credit buffer.
+func (s *Sender) sendRequest() {
+	s.flow.Src.Host.Send(&netem.Packet{
+		Kind:   netem.KindCreditReq,
+		Class:  s.cfg.AckClass,
+		Dst:    s.flow.Dst.Host.NodeID(),
+		Flow:   s.flow.ID,
+		Size:   netem.CtrlSize,
+		SentAt: s.eng.Now(),
+	})
+}
+
+// armRecovery refreshes the progress stamp; the pending timer re-checks
+// the true deadline lazily instead of being cancelled per event.
+func (s *Sender) armRecovery() {
+	s.lastProgress = s.eng.Now()
+	if s.recoverPending || s.finished {
+		return
+	}
+	s.recoverPending = true
+	s.eng.After(s.cfg.MinRTO, s.checkRecovery)
+}
+
+func (s *Sender) checkRecovery() {
+	s.recoverPending = false
+	if s.finished {
+		return
+	}
+	bo := s.recoverBackoff
+	if bo > 4 {
+		bo = 4
+	}
+	deadline := s.lastProgress + s.cfg.MinRTO<<bo
+	if s.eng.Now() < deadline {
+		s.recoverPending = true
+		s.eng.At(deadline, s.checkRecovery)
+		return
+	}
+	s.onRecoveryTimeout()
+}
+
+// onRecoveryTimeout fires when neither credits nor ACKs arrived for an RTO:
+// the credit request (or the whole credit stream) was lost. Re-request.
+func (s *Sender) onRecoveryTimeout() {
+	s.flow.Timeouts++
+	s.recoverBackoff++
+	s.sendRequest()
+	s.armRecovery()
+}
+
+// pick selects the segment a fresh credit should carry: Lost first, then
+// new data, then the oldest unacked (tail robustness). Returns -1 when the
+// credit is wasted.
+func (s *Sender) pick() (seq int, retx bool) {
+	for len(s.lostQ) > 0 {
+		cand := s.lostQ[0]
+		s.lostQ = s.lostQ[1:]
+		if s.state[cand] == segLost {
+			return cand, true
+		}
+	}
+	if s.nextNew < len(s.state) {
+		seq = s.nextNew
+		s.nextNew++
+		return seq, false
+	}
+	// Tail robustness: re-send the oldest unacked segment, each at most
+	// once per rescan round; a new round opens only when a fresh ACK
+	// arrives, so a slow ACK path cannot trigger a duplicate storm.
+	for {
+		for s.oldest < len(s.state) && s.state[s.oldest] == segAcked {
+			s.oldest++
+		}
+		if s.oldest < len(s.state) {
+			seq := s.oldest
+			s.oldest++
+			return seq, true
+		}
+		if !s.rescanOK {
+			return -1, false
+		}
+		s.rescanOK = false
+		s.oldest = s.cumAck
+	}
+}
+
+func (s *Sender) transmit(seq int, retx bool, echo uint32) {
+	s.state[seq] = segSent
+	s.inflight++
+	if retx {
+		s.flow.Retransmits++
+	}
+	s.flow.Src.Host.Send(&netem.Packet{
+		Kind:       netem.KindProData,
+		Class:      s.cfg.DataClass,
+		Color:      netem.Green,
+		ECNCapable: s.cfg.DataECN,
+		Dst:        s.flow.Dst.Host.NodeID(),
+		Flow:       s.flow.ID,
+		Seq:        uint32(seq),
+		SubSeq:     uint32(seq),
+		Echo:       echo,
+		Size:       s.flow.SegWire(seq),
+		SentAt:     s.eng.Now(),
+	})
+}
+
+// Handle processes credits and ACKs.
+func (s *Sender) Handle(pkt *netem.Packet) {
+	switch pkt.Kind {
+	case netem.KindCredit:
+		if s.finished {
+			return
+		}
+		s.flow.CreditsGranted++
+		if s.cfg.Layered && float64(s.inflight) >= s.win.Cwnd {
+			s.flow.CreditsWasted++
+			return
+		}
+		seq, retx := s.pick()
+		if seq < 0 {
+			s.flow.CreditsWasted++
+			return
+		}
+		s.transmit(seq, retx, pkt.SubSeq)
+		s.armRecovery()
+	case netem.KindAckPro:
+		s.onAck(pkt)
+	}
+}
+
+func (s *Sender) onAck(pkt *netem.Packet) {
+	if s.finished {
+		return
+	}
+	s.rescanOK = true
+	s.recoverBackoff = 0
+	cum := int(pkt.SubSeq)
+	sack := int(pkt.Seq)
+	if sack < len(s.state) {
+		if s.state[sack] == segSent {
+			s.state[sack] = segAcked
+			s.inflight--
+		} else if s.state[sack] == segLost {
+			s.state[sack] = segAcked
+		}
+	}
+	if sack > s.sackHigh {
+		s.sackHigh = sack
+	}
+	if cum > s.cumAck {
+		for seq := s.cumAck; seq < cum && seq < len(s.state); seq++ {
+			if s.state[seq] == segSent {
+				s.inflight--
+			}
+			s.state[seq] = segAcked
+		}
+		s.cumAck = cum
+		s.dupAcks = 0
+	} else if sack >= s.cumAck {
+		s.dupAcks++
+	}
+	if s.cfg.Layered {
+		s.win.OnAck(cum, s.nextNew, pkt.CE)
+	}
+	// SACK-style loss marking; recovered via the credit loop.
+	if s.dupAcks >= 3 {
+		edge := s.sackHigh - 2
+		for seq := s.cumAck; seq < edge && seq < len(s.state); seq++ {
+			if s.state[seq] == segSent {
+				s.state[seq] = segLost
+				s.inflight--
+				s.lostQ = append(s.lostQ, seq)
+			}
+		}
+	}
+	if s.cumAck >= len(s.state) {
+		s.finished = true
+		return
+	}
+	s.armRecovery()
+}
+
+// Receiver is the ExpressPass receive side: it paces credits and
+// acknowledges data.
+type Receiver struct {
+	cfg   Config
+	eng   *sim.Engine
+	flow  *transport.Flow
+	pacer *Pacer
+
+	got      []bool
+	cum      int
+	received int
+}
+
+// NewReceiver builds the receive side.
+func NewReceiver(eng *sim.Engine, flow *transport.Flow, cfg Config) *Receiver {
+	return &Receiver{
+		cfg:   cfg,
+		eng:   eng,
+		flow:  flow,
+		pacer: NewPacer(eng, flow.Dst.Host, flow.Src.Host.NodeID(), flow.ID, cfg.Pacer),
+		got:   make([]bool, flow.Segs()),
+	}
+}
+
+// Pacer exposes the credit pacer (stats, tests).
+func (r *Receiver) Pacer() *Pacer { return r.pacer }
+
+// Handle processes credit requests and data.
+func (r *Receiver) Handle(pkt *netem.Packet) {
+	switch pkt.Kind {
+	case netem.KindCreditReq:
+		if !r.flow.Completed {
+			r.pacer.Start()
+		}
+	case netem.KindProData:
+		r.pacer.OnData(pkt.Echo)
+		seq := int(pkt.SubSeq)
+		if seq < len(r.got) && !r.got[seq] {
+			r.got[seq] = true
+			r.received++
+			r.flow.RxBytes += int64(r.flow.SegPayload(seq))
+			for r.cum < len(r.got) && r.got[r.cum] {
+				r.cum++
+			}
+		} else {
+			r.flow.RedundantSegs++
+		}
+		r.flow.Dst.Host.Send(&netem.Packet{
+			Kind:   netem.KindAckPro,
+			Class:  r.cfg.AckClass,
+			Dst:    r.flow.Src.Host.NodeID(),
+			Flow:   r.flow.ID,
+			Seq:    pkt.SubSeq,
+			SubSeq: uint32(r.cum),
+			CE:     pkt.CE,
+			Size:   netem.AckSize,
+			SentAt: pkt.SentAt,
+		})
+		if r.received >= r.flow.Segs() {
+			r.pacer.Stop()
+			r.flow.Complete(r.eng.Now())
+		}
+	}
+}
+
+// Start wires an ExpressPass sender/receiver pair and begins the flow.
+func Start(eng *sim.Engine, flow *transport.Flow, cfg Config) (*Sender, *Receiver) {
+	s := NewSender(eng, flow, cfg)
+	r := NewReceiver(eng, flow, cfg)
+	flow.Src.Register(flow.ID, s)
+	flow.Dst.Register(flow.ID, r)
+	s.Begin()
+	return s, r
+}

@@ -1,0 +1,66 @@
+package flexpass
+
+import (
+	"testing"
+
+	"flexpass/internal/sim"
+	"flexpass/internal/topo"
+	"flexpass/internal/units"
+)
+
+func TestAeolusModeStopsReactiveAfterFirstRTT(t *testing.T) {
+	eng, _, ag := flexFabric(2, 10*gig, topo.Spec{})
+	cfg := flexCfg(10*gig, 0.5)
+	cfg.PreCreditOnly = true
+	fl := fpFlow(1, ag[0], ag[1], 10_000_000)
+	Start(eng, fl, cfg)
+	eng.Run(100 * sim.Millisecond)
+	if !fl.Completed {
+		t.Fatal("flow did not complete")
+	}
+	// Reactive contribution is capped at the initial window (10 segs).
+	if fl.RxBytesRe > 10*1460 {
+		t.Fatalf("reactive delivered %dB in Aeolus mode, want ≤ one window", fl.RxBytesRe)
+	}
+	if fl.RxBytesPro < fl.Size-10*1460 {
+		t.Fatalf("proactive delivered only %dB of %d", fl.RxBytesPro, fl.Size)
+	}
+}
+
+func TestAeolusModeLeavesSpareBandwidthUnused(t *testing.T) {
+	// The §7 contrast: alone on the link, Aeolus-style pre-credit-only
+	// tops out at the credit-scheduled w_q share, while full FlexPass
+	// fills the link with its reactive sub-flow.
+	run := func(preCreditOnly bool) units.Rate {
+		eng, _, ag := flexFabric(2, 10*gig, topo.Spec{})
+		cfg := flexCfg(10*gig, 0.5)
+		cfg.PreCreditOnly = preCreditOnly
+		fl := fpFlow(1, ag[0], ag[1], 1<<30)
+		Start(eng, fl, cfg)
+		eng.Run(30 * sim.Millisecond)
+		return units.RateOf(fl.RxBytes, 30*sim.Millisecond)
+	}
+	aeolus := run(true)
+	full := run(false)
+	if aeolus > 6*gig {
+		t.Fatalf("Aeolus mode reached %v; should be capped near w_q (5G)", aeolus)
+	}
+	if full < 8*gig {
+		t.Fatalf("full FlexPass reached only %v; reactive should fill the link", full)
+	}
+}
+
+func TestAeolusModeStillRecoversTailLoss(t *testing.T) {
+	// Unscheduled first-window losses must be recovered via the credit
+	// loop (proactive retransmission), exactly as in Aeolus.
+	eng, fab, ag := lossyPair(0.05, topo.Spec{})
+	_ = fab
+	cfg := flexCfg(10*gig, 0.5)
+	cfg.PreCreditOnly = true
+	fl := fpFlow(1, ag[0], ag[1], 500_000)
+	Start(eng, fl, cfg)
+	eng.Run(2 * sim.Second)
+	if !fl.Completed {
+		t.Fatal("Aeolus-mode flow did not recover from loss")
+	}
+}

@@ -1,0 +1,770 @@
+// Package flexpass implements the paper's transport: a FlexPass flow is
+// split into a credit-scheduled proactive sub-flow (ExpressPass credits at
+// the w_q-scaled rate) and an opportunistic reactive sub-flow (DCTCP on
+// red-colored, ECN-capable unscheduled packets), co-scheduled at the host
+// by the per-packet state machine of Fig 4:
+//
+//	Pending → SentReactive → {ACKed, Lost, SentProactive}
+//	Pending → SentProactive → {ACKed, Lost}
+//	Lost → SentProactive (loss recovery uses only the proactive sub-flow)
+//
+// On each credit the sender transmits, in priority order: a Lost segment,
+// a Pending segment, or — "proactive retransmission" — the oldest unacked
+// segment sent reactively. The receiver reassembles by per-flow sequence
+// number and discards duplicates.
+package flexpass
+
+import (
+	"flexpass/internal/netem"
+	"flexpass/internal/sim"
+	"flexpass/internal/trace"
+	"flexpass/internal/transport"
+	"flexpass/internal/transport/expresspass"
+)
+
+// CreditSource abstracts the receiver-side credit allocator that drives
+// the proactive sub-flow. The default is the ExpressPass pacer; §4.3
+// names pHost-style token arbitration as an alternative for non-blocking
+// fabrics (see phost.NewFlexSource). Any allocator's credits are still
+// disciplined by the network's Q0 rate limiters.
+type CreditSource interface {
+	// Start begins issuing credits toward the sender.
+	Start()
+	// Stop halts credit issue (flow complete).
+	Stop()
+	// OnData reports a credit-scheduled data arrival and the credit
+	// sequence number it echoes (for loss feedback).
+	OnData(echo uint32)
+}
+
+// Config parameterizes a FlexPass connection.
+type Config struct {
+	ProClass netem.Class // queue class of proactive data (Q1)
+	ReClass  netem.Class // queue class of reactive data (Q1; Q2 in the AltQ ablation)
+	AckClass netem.Class // queue class of ACKs (Q1, FlexPass control)
+	Pacer    expresspass.PacerConfig
+
+	// NewCreditSource, when non-nil, replaces the default ExpressPass
+	// pacer with a custom allocator (§4.3 extensibility).
+	NewCreditSource func(eng *sim.Engine, flow *transport.Flow) CreditSource
+
+	InitCwnd float64  // reactive sub-flow initial window (segments)
+	MinRTO   sim.Time // recovery timer (credit re-request)
+
+	// RC3Split enables the §4.3 ablation: instead of one shared Pending
+	// pool, the reactive sub-flow transmits from the end of the flow
+	// backwards (RC3-style), overlapping with the proactive sub-flow in
+	// the middle.
+	RC3Split bool
+
+	// DisableProRetx turns off "proactive retransmission" (§4.2) — the
+	// third transmission priority that re-sends unacknowledged reactive
+	// segments on spare credits. Ablation only: tail losses then wait
+	// for the recovery timer, exactly the failure mode the paper's
+	// design avoids.
+	DisableProRetx bool
+
+	// PreCreditOnly restricts the reactive sub-flow to the first window
+	// (Aeolus-style, Hu et al. SIGCOMM 2020): unscheduled packets are
+	// sent only in the pre-credit RTT, and the flow is credit-scheduled
+	// afterwards. §7 contrasts FlexPass with exactly this design — the
+	// reactive sub-flow working for the flow's whole lifetime is what
+	// lets FlexPass soak up bandwidth legacy traffic leaves over.
+	PreCreditOnly bool
+
+	// Trace, when non-nil, records retransmission and timeout decisions.
+	Trace *trace.Ring
+
+	// Reactive selects the reactive sub-flow's congestion control
+	// (default DCTCP; see reactive.go for the §4.3 extension point).
+	Reactive ReactiveCC
+}
+
+// DefaultConfig returns the paper's FlexPass setup given the per-flow
+// credit pacer configuration.
+func DefaultConfig(p expresspass.PacerConfig) Config {
+	return Config{
+		ProClass: netem.ClassFlex,
+		ReClass:  netem.ClassFlex,
+		AckClass: netem.ClassFlex,
+		Pacer:    p,
+		InitCwnd: 10,
+		MinRTO:   4 * sim.Millisecond,
+	}
+}
+
+// Flow-segment states (Fig 4).
+const (
+	stPending uint8 = iota
+	stSentRe
+	stSentPro
+	stLost
+	stAcked
+)
+
+// Sub-flow per-transmission states.
+const (
+	subSent uint8 = iota
+	subAcked
+	subLost
+)
+
+// Sender is the FlexPass send side.
+type Sender struct {
+	cfg  Config
+	eng  *sim.Engine
+	flow *transport.Flow
+
+	st          []uint8 // per flow segment
+	segReSub    []int32 // flow segment → its reactive transmission (-1 none)
+	lostQ       []int
+	nextPending int // forward scan for Pending
+	tailPending int // backward scan (RC3 mode)
+	ackedCount  int
+
+	// Reactive sub-flow (no retransmissions of its own).
+	win           reactiveWindow
+	reECT         bool    // reactive packets ECN-capable?
+	reMap         []int32 // reactive subseq → flow seq
+	reState       []uint8
+	reTime        []sim.Time // send time per reactive transmission
+	reOutstanding int
+	reCum         int
+	reSackHigh    int
+	reDupAcks     int
+
+	// Proactive sub-flow (credit-clocked).
+	proMap      []int32
+	proState    []uint8
+	proTime     []sim.Time // send time per proactive transmission
+	srtt        sim.Time   // smoothed RTT from ACK timestamp echoes
+	proCum      int
+	proSackHigh int
+	proDupAcks  int
+	reRetxScan  int // oldest unacked reactive transmission (for proactive retx)
+	proTailScan int // oldest unacked proactive transmission (tail robustness)
+	rackScan    int // time-ordered reactive loss-detection scan
+
+	pumped         bool // first reactive window sent (PreCreditOnly)
+	recoverPending bool
+	recoverBackoff uint
+	lastProgress   sim.Time
+	finished       bool
+}
+
+// NewSender builds the send side; Begin starts both sub-flows.
+func NewSender(eng *sim.Engine, flow *transport.Flow, cfg Config) *Sender {
+	segs := flow.Segs()
+	s := &Sender{
+		cfg:         cfg,
+		eng:         eng,
+		flow:        flow,
+		st:          make([]uint8, segs),
+		segReSub:    make([]int32, segs),
+		tailPending: segs - 1,
+		win:         newReactiveWindow(cfg.Reactive, cfg.InitCwnd),
+		reECT:       ecnCapableFor(cfg.Reactive),
+	}
+	for i := range s.segReSub {
+		s.segReSub[i] = -1
+	}
+	return s
+}
+
+// Begin issues the credit request and fires the reactive first window —
+// the reactive sub-flow uses the first RTT that credits need to arrive.
+func (s *Sender) Begin() {
+	s.sendCreditRequest()
+	s.pumpReactive()
+	s.armRecovery()
+}
+
+// Finished reports whether every segment is acknowledged.
+func (s *Sender) Finished() bool { return s.finished }
+
+// Cwnd exposes the reactive window for tests.
+func (s *Sender) Cwnd() float64 { return s.win.Cwnd() }
+
+// sendCreditRequest issues the flow-start request. Requests are FlexPass
+// control packets (their own DSCP in §5) and travel in the control/data
+// queue as green packets, not in the rate-limited credit queue, so an
+// incast of flow starts cannot wipe them out.
+func (s *Sender) sendCreditRequest() {
+	s.flow.Src.Host.Send(&netem.Packet{
+		Kind:   netem.KindCreditReq,
+		Class:  s.cfg.AckClass,
+		Dst:    s.flow.Dst.Host.NodeID(),
+		Flow:   s.flow.ID,
+		Size:   netem.CtrlSize,
+		SentAt: s.eng.Now(),
+	})
+}
+
+// armRecovery refreshes the progress stamp; the pending timer re-checks
+// the true deadline lazily instead of being cancelled per event.
+func (s *Sender) armRecovery() {
+	s.lastProgress = s.eng.Now()
+	if s.recoverPending || s.finished {
+		return
+	}
+	s.recoverPending = true
+	s.eng.After(s.cfg.MinRTO, s.checkRecovery)
+}
+
+func (s *Sender) checkRecovery() {
+	s.recoverPending = false
+	if s.finished {
+		return
+	}
+	bo := s.recoverBackoff
+	if bo > 4 {
+		bo = 4
+	}
+	deadline := s.lastProgress + s.cfg.MinRTO<<bo
+	if s.eng.Now() < deadline {
+		s.recoverPending = true
+		s.eng.At(deadline, s.checkRecovery)
+		return
+	}
+	s.onRecoveryTimeout()
+}
+
+// onRecoveryTimeout fires only when credits and ACKs both stopped for a
+// full RTO (e.g. the credit request was lost before any data got through).
+// It re-requests credits and requeues every unacked transmission for
+// proactive recovery.
+func (s *Sender) onRecoveryTimeout() {
+	s.flow.Timeouts++
+	s.recoverBackoff++
+	s.cfg.Trace.Add(trace.Timeout, s.flow.ID, int64(s.ackedCount), "recovery timer fired")
+	s.sendCreditRequest()
+	for sub := s.reCum; sub < len(s.reState); sub++ {
+		if s.reState[sub] == subSent {
+			s.reState[sub] = subLost
+			s.reOutstanding--
+			s.markSegLost(int(s.reMap[sub]))
+		}
+	}
+	for sub := s.proCum; sub < len(s.proState); sub++ {
+		if s.proState[sub] == subSent {
+			s.proState[sub] = subLost
+			seg := int(s.proMap[sub])
+			if s.st[seg] == stSentPro {
+				s.st[seg] = stLost
+				s.lostQ = append(s.lostQ, seg)
+			}
+		}
+	}
+	s.win.OnTimeout()
+	s.pumpReactive()
+	s.armRecovery()
+}
+
+// rackDetect is time-based loss detection for the reactive sub-flow
+// (RACK-style): a reactive transmission unacknowledged for ~2 RTTs is
+// declared lost. Duplicate-ACK detection alone deadlocks when an entire
+// burst drops (an incast first window leaves no survivors to generate
+// dupACKs), which would leave the reactive window pinned shut until the
+// proactive sub-flow drains the whole flow.
+func (s *Sender) rackDetect() {
+	if s.srtt == 0 {
+		return
+	}
+	cutoff := s.eng.Now() - 2*s.srtt
+	newLoss := false
+	for s.rackScan < len(s.reState) && s.reTime[s.rackScan] <= cutoff {
+		if s.reState[s.rackScan] == subSent {
+			s.reState[s.rackScan] = subLost
+			s.reOutstanding--
+			s.markSegLost(int(s.reMap[s.rackScan]))
+			newLoss = true
+		}
+		s.rackScan++
+	}
+	if newLoss {
+		s.win.OnLoss(s.reCum, len(s.reMap))
+	}
+}
+
+// markSegLost moves a flow segment to Lost unless it is already recovered
+// or being recovered proactively.
+func (s *Sender) markSegLost(seg int) {
+	if s.st[seg] == stSentRe {
+		s.st[seg] = stLost
+		s.lostQ = append(s.lostQ, seg)
+	}
+}
+
+// segAcked marks a flow segment delivered (from either sub-flow's ACK).
+// A segment acknowledged through the proactive path releases its pending
+// reactive transmission too: otherwise a reactive window whose packets
+// all dropped (e.g. an incast first-RTT burst) would stay pinned shut for
+// the rest of the flow even though recovery already happened.
+func (s *Sender) segAcked(seg int) {
+	if s.st[seg] == stAcked {
+		return
+	}
+	s.st[seg] = stAcked
+	s.ackedCount++
+	if sub := s.segReSub[seg]; sub >= 0 && s.reState[sub] == subSent {
+		s.reState[sub] = subAcked
+		s.reOutstanding--
+	}
+	if s.ackedCount >= len(s.st) {
+		s.finished = true
+	}
+}
+
+// nextPendingSeg hands out the next never-transmitted segment for the
+// reactive sub-flow (from the tail in RC3 mode).
+func (s *Sender) nextPendingSeg() int {
+	if s.cfg.RC3Split {
+		for s.tailPending >= 0 && s.st[s.tailPending] != stPending {
+			s.tailPending--
+		}
+		if s.tailPending < 0 {
+			return -1
+		}
+		seg := s.tailPending
+		s.tailPending--
+		return seg
+	}
+	for s.nextPending < len(s.st) && s.st[s.nextPending] != stPending {
+		s.nextPending++
+	}
+	if s.nextPending >= len(s.st) {
+		return -1
+	}
+	seg := s.nextPending
+	s.nextPending++
+	return seg
+}
+
+// pumpReactive fills the reactive window with Pending segments.
+func (s *Sender) pumpReactive() {
+	if s.finished {
+		return
+	}
+	if s.cfg.PreCreditOnly && s.pumped {
+		return // Aeolus mode: unscheduled packets only in the first RTT
+	}
+	s.pumped = true
+	for s.reOutstanding < int(s.win.Cwnd()) {
+		seg := s.nextPendingSeg()
+		if seg < 0 {
+			return
+		}
+		sub := len(s.reMap)
+		s.reMap = append(s.reMap, int32(seg))
+		s.reState = append(s.reState, subSent)
+		s.reTime = append(s.reTime, s.eng.Now())
+		s.segReSub[seg] = int32(sub)
+		s.reOutstanding++
+		s.st[seg] = stSentRe
+		s.flow.Src.Host.Send(&netem.Packet{
+			Kind:       netem.KindReData,
+			Class:      s.cfg.ReClass,
+			Color:      netem.Red,
+			ECNCapable: s.reECT,
+			Dst:        s.flow.Dst.Host.NodeID(),
+			Flow:       s.flow.ID,
+			Seq:        uint32(seg),
+			SubSeq:     uint32(sub),
+			Size:       s.flow.SegWire(seg),
+			SentAt:     s.eng.Now(),
+		})
+	}
+}
+
+// pickProactive chooses what a fresh credit carries (§4.2 priority order).
+func (s *Sender) pickProactive() (seg int, proRetx, retx bool) {
+	// 1. Lost segments: loss recovery rides only the proactive sub-flow.
+	for len(s.lostQ) > 0 {
+		cand := s.lostQ[0]
+		s.lostQ = s.lostQ[1:]
+		if s.st[cand] == stLost {
+			return cand, false, true
+		}
+	}
+	// 2. Pending: new data.
+	if !s.cfg.RC3Split {
+		if seg := s.nextPendingSeg(); seg >= 0 {
+			return seg, false, false
+		}
+	} else {
+		// RC3 mode: proactive takes from the head.
+		for s.nextPending < len(s.st) && s.st[s.nextPending] != stPending {
+			s.nextPending++
+		}
+		if s.nextPending < len(s.st) {
+			seg := s.nextPending
+			s.nextPending++
+			return seg, false, false
+		}
+	}
+	// 3. Proactive retransmission: oldest unacked reactive transmission.
+	// The scan pointer advances past each candidate it hands out, so every
+	// transmission is proactively retransmitted at most once — the
+	// retransmission itself is a new proactive transmission that later
+	// scans cover, bounding redundancy instead of blasting the same
+	// segment on every credit for a full RTT.
+	// Transmissions are time-ordered, so the scan stops (without
+	// advancing) at the first one whose ACK could still be in flight:
+	// only transmissions older than ~1 RTT are eligible.
+	if s.cfg.DisableProRetx {
+		return -1, false, false
+	}
+	if s.srtt == 0 {
+		return -1, false, false // no RTT estimate yet; recovery timer covers us
+	}
+	age := s.eng.Now() - s.srtt*5/4
+	for s.reRetxScan < len(s.reMap) {
+		sub := s.reRetxScan
+		if s.reTime[sub] > age {
+			break
+		}
+		s.reRetxScan++
+		seg := int(s.reMap[sub])
+		if s.reState[sub] == subSent && s.st[seg] == stSentRe {
+			return seg, true, true
+		}
+	}
+	// 4. Tail robustness beyond the paper's list: re-send the oldest
+	// unacked proactive transmission so a lost final proactive packet
+	// does not have to wait for the recovery timer.
+	for s.proTailScan < len(s.proMap) {
+		sub := s.proTailScan
+		if s.proTime[sub] > age {
+			break
+		}
+		s.proTailScan++
+		seg := int(s.proMap[sub])
+		if s.proState[sub] == subSent && s.st[seg] == stSentPro {
+			return seg, false, true
+		}
+	}
+	return -1, false, false
+}
+
+func (s *Sender) sendProactive(seg int, echo uint32, proRetx, retx bool) {
+	sub := len(s.proMap)
+	s.proMap = append(s.proMap, int32(seg))
+	s.proState = append(s.proState, subSent)
+	s.proTime = append(s.proTime, s.eng.Now())
+	s.st[seg] = stSentPro
+	if proRetx {
+		s.flow.ProRetx++
+		s.cfg.Trace.Add(trace.Retransmit, s.flow.ID, int64(seg), "proactive retransmission")
+	}
+	if retx {
+		s.flow.Retransmits++
+	}
+	s.flow.Src.Host.Send(&netem.Packet{
+		Kind:   netem.KindProData,
+		Class:  s.cfg.ProClass,
+		Color:  netem.Green,
+		Dst:    s.flow.Dst.Host.NodeID(),
+		Flow:   s.flow.ID,
+		Seq:    uint32(seg),
+		SubSeq: uint32(sub),
+		Echo:   echo,
+		Size:   s.flow.SegWire(seg),
+		SentAt: s.eng.Now(),
+	})
+}
+
+// Handle processes credits and per-sub-flow ACKs.
+func (s *Sender) Handle(pkt *netem.Packet) {
+	switch pkt.Kind {
+	case netem.KindCredit:
+		if s.finished {
+			return
+		}
+		s.flow.CreditsGranted++
+		s.rackDetect()
+		seg, proRetx, retx := s.pickProactive()
+		if seg < 0 {
+			s.flow.CreditsWasted++
+			return
+		}
+		s.sendProactive(seg, pkt.SubSeq, proRetx, retx)
+		s.armRecovery()
+	case netem.KindAckRe:
+		s.onReactiveAck(pkt)
+	case netem.KindAckPro:
+		s.onProactiveAck(pkt)
+	}
+}
+
+func (s *Sender) updateRTT(pkt *netem.Packet) {
+	s.recoverBackoff = 0
+	sample := s.eng.Now() - pkt.SentAt
+	if s.srtt == 0 {
+		s.srtt = sample
+	} else {
+		s.srtt = (7*s.srtt + sample) / 8
+	}
+}
+
+func (s *Sender) onReactiveAck(pkt *netem.Packet) {
+	if s.finished {
+		return
+	}
+	s.updateRTT(pkt)
+	s.rackDetect()
+	cum := int(pkt.SubSeq)
+	sack := int(pkt.Seq)
+	if sack < len(s.reState) {
+		if s.reState[sack] == subSent {
+			s.reState[sack] = subAcked
+			s.reOutstanding--
+			s.segAcked(int(s.reMap[sack]))
+		} else if s.reState[sack] == subLost {
+			s.reState[sack] = subAcked
+			s.segAcked(int(s.reMap[sack]))
+		}
+	}
+	if sack > s.reSackHigh {
+		s.reSackHigh = sack
+	}
+	if cum > s.reCum {
+		for sub := s.reCum; sub < cum && sub < len(s.reState); sub++ {
+			if s.reState[sub] == subSent {
+				s.reState[sub] = subAcked
+				s.reOutstanding--
+				s.segAcked(int(s.reMap[sub]))
+			}
+		}
+		s.reCum = cum
+		s.reDupAcks = 0
+	} else if sack >= s.reCum {
+		s.reDupAcks++
+	}
+	s.win.OnAck(cum, len(s.reMap), pkt.CE)
+	// Loss: mark Lost, update the window, slide the left edge (the
+	// reactive sub-flow never retransmits; recovery is proactive).
+	if s.reDupAcks >= 3 {
+		edge := s.reSackHigh - 2
+		newLoss := false
+		for sub := s.reCum; sub < edge && sub < len(s.reState); sub++ {
+			if s.reState[sub] == subSent {
+				s.reState[sub] = subLost
+				s.reOutstanding--
+				s.markSegLost(int(s.reMap[sub]))
+				newLoss = true
+			}
+		}
+		if newLoss {
+			s.win.OnLoss(cum, len(s.reMap))
+		}
+		// Slide the left edge past lost transmissions.
+		for s.reCum < len(s.reState) && s.reState[s.reCum] != subSent {
+			s.reCum++
+		}
+	}
+	if s.finished {
+		return
+	}
+	s.pumpReactive()
+	s.armRecovery()
+}
+
+func (s *Sender) onProactiveAck(pkt *netem.Packet) {
+	if s.finished {
+		return
+	}
+	s.updateRTT(pkt)
+	s.rackDetect()
+	cum := int(pkt.SubSeq)
+	sack := int(pkt.Seq)
+	if sack < len(s.proState) {
+		if s.proState[sack] != subAcked {
+			s.proState[sack] = subAcked
+			s.segAcked(int(s.proMap[sack]))
+		}
+	}
+	if sack > s.proSackHigh {
+		s.proSackHigh = sack
+	}
+	if cum > s.proCum {
+		for sub := s.proCum; sub < cum && sub < len(s.proState); sub++ {
+			if s.proState[sub] != subAcked {
+				s.proState[sub] = subAcked
+				s.segAcked(int(s.proMap[sub]))
+			}
+		}
+		s.proCum = cum
+		s.proDupAcks = 0
+	} else if sack >= s.proCum {
+		s.proDupAcks++
+	}
+	// Non-congestion proactive losses (§4.3): detect via duplicate ACKs
+	// and give the lost segment top priority on the next credit.
+	if s.proDupAcks >= 3 {
+		edge := s.proSackHigh - 2
+		for sub := s.proCum; sub < edge && sub < len(s.proState); sub++ {
+			if s.proState[sub] == subSent {
+				s.proState[sub] = subLost
+				seg := int(s.proMap[sub])
+				if s.st[seg] == stSentPro {
+					s.st[seg] = stLost
+					s.lostQ = append(s.lostQ, seg)
+				}
+			}
+		}
+		for s.proCum < len(s.proState) && s.proState[s.proCum] != subSent {
+			s.proCum++
+		}
+	}
+	if s.finished {
+		return
+	}
+	// Releasing cross-acked reactive transmissions may have opened the
+	// reactive window.
+	s.pumpReactive()
+	s.armRecovery()
+}
+
+// Receiver is the FlexPass receive side: per-sub-flow ACKs, reassembly by
+// flow sequence number, duplicate discard, and the credit pacer.
+type Receiver struct {
+	cfg   Config
+	eng   *sim.Engine
+	flow  *transport.Flow
+	pacer CreditSource
+
+	got      []bool
+	cum      int
+	received int
+
+	receivedB  int64 // distinct payload bytes received
+	deliveredB int64 // in-order bytes delivered to the app
+
+	reGot  []bool
+	reCum  int
+	proGot []bool
+	proCum int
+
+	started bool
+}
+
+// NewReceiver builds the receive side.
+func NewReceiver(eng *sim.Engine, flow *transport.Flow, cfg Config) *Receiver {
+	var src CreditSource
+	if cfg.NewCreditSource != nil {
+		src = cfg.NewCreditSource(eng, flow)
+	} else {
+		src = expresspass.NewPacer(eng, flow.Dst.Host, flow.Src.Host.NodeID(), flow.ID, cfg.Pacer)
+	}
+	return &Receiver{
+		cfg:   cfg,
+		eng:   eng,
+		flow:  flow,
+		pacer: src,
+		got:   make([]bool, flow.Segs()),
+	}
+}
+
+// Pacer exposes the credit source (the ExpressPass pacer by default).
+func (r *Receiver) Pacer() CreditSource { return r.pacer }
+
+func grow(b []bool, n int) []bool {
+	for len(b) <= n {
+		b = append(b, false)
+	}
+	return b
+}
+
+// Handle processes packets of the flow.
+func (r *Receiver) Handle(pkt *netem.Packet) {
+	if !r.started && !r.flow.Completed {
+		// Any first packet (request or reactive data) starts crediting.
+		r.started = true
+		r.pacer.Start()
+	}
+	switch pkt.Kind {
+	case netem.KindCreditReq:
+		// Crediting already started above.
+	case netem.KindReData:
+		r.reGot = grow(r.reGot, int(pkt.SubSeq))
+		if !r.reGot[pkt.SubSeq] {
+			r.reGot[pkt.SubSeq] = true
+			for r.reCum < len(r.reGot) && r.reGot[r.reCum] {
+				r.reCum++
+			}
+		}
+		r.absorb(pkt, false)
+		r.sendAck(netem.KindAckRe, pkt, uint32(r.reCum))
+		r.checkComplete()
+	case netem.KindProData:
+		r.pacer.OnData(pkt.Echo)
+		r.proGot = grow(r.proGot, int(pkt.SubSeq))
+		if !r.proGot[pkt.SubSeq] {
+			r.proGot[pkt.SubSeq] = true
+			for r.proCum < len(r.proGot) && r.proGot[r.proCum] {
+				r.proCum++
+			}
+		}
+		r.absorb(pkt, true)
+		r.sendAck(netem.KindAckPro, pkt, uint32(r.proCum))
+		r.checkComplete()
+	}
+}
+
+// absorb records a data packet in the flow-level reassembly buffer and
+// tracks the reordering-buffer high-water mark.
+func (r *Receiver) absorb(pkt *netem.Packet, proactive bool) {
+	seq := int(pkt.Seq)
+	if seq >= len(r.got) || r.got[seq] {
+		r.flow.RedundantSegs++
+		return
+	}
+	r.got[seq] = true
+	r.received++
+	payload := int64(r.flow.SegPayload(seq))
+	r.receivedB += payload
+	r.flow.RxBytes += payload
+	if proactive {
+		r.flow.RxBytesPro += payload
+	} else {
+		r.flow.RxBytesRe += payload
+	}
+	for r.cum < len(r.got) && r.got[r.cum] {
+		r.deliveredB += int64(r.flow.SegPayload(r.cum))
+		r.cum++
+	}
+	if buf := r.receivedB - r.deliveredB; buf > r.flow.MaxReorderB {
+		r.flow.MaxReorderB = buf
+	}
+}
+
+func (r *Receiver) sendAck(kind netem.Kind, data *netem.Packet, cum uint32) {
+	r.flow.Dst.Host.Send(&netem.Packet{
+		Kind:   kind,
+		Class:  r.cfg.AckClass,
+		Dst:    r.flow.Src.Host.NodeID(),
+		Flow:   r.flow.ID,
+		Seq:    data.SubSeq,
+		SubSeq: cum,
+		CE:     data.CE,
+		Size:   netem.AckSize,
+		SentAt: data.SentAt,
+	})
+}
+
+func (r *Receiver) checkComplete() {
+	if r.received >= r.flow.Segs() && !r.flow.Completed {
+		r.pacer.Stop()
+		r.flow.Complete(r.eng.Now())
+	}
+}
+
+// Start wires a FlexPass sender/receiver pair and begins the flow.
+func Start(eng *sim.Engine, flow *transport.Flow, cfg Config) (*Sender, *Receiver) {
+	s := NewSender(eng, flow, cfg)
+	r := NewReceiver(eng, flow, cfg)
+	flow.Src.Register(flow.ID, s)
+	flow.Dst.Register(flow.ID, r)
+	s.Begin()
+	return s, r
+}

@@ -1,0 +1,458 @@
+// Package phost implements a simplified pHost (Gao et al., CoNEXT 2015)
+// — the alternative receiver-driven credit allocator the paper's §4.3
+// names as a drop-in for FlexPass's proactive sub-flow in non-blocking
+// fabrics. Unlike ExpressPass, pHost does not rate-limit credits inside
+// the network: each receiver owns its downlink and emits tokens at the
+// downlink rate, round-robin across its active flows (the real system
+// schedules by SRPT and downgrades unresponsive sources; round-robin
+// preserves the behaviour that matters here: edge-only congestion
+// control with no switch support).
+//
+// Modeled: free first-RTT tokens (unscheduled data), per-receiver token
+// arbitration, outstanding-token caps, per-packet ACKs, token-clocked
+// loss recovery. Omitted: SRPT ordering, multi-priority spraying.
+package phost
+
+import (
+	"flexpass/internal/netem"
+	"flexpass/internal/sim"
+	"flexpass/internal/transport"
+	"flexpass/internal/units"
+)
+
+// Config parameterizes a pHost connection.
+type Config struct {
+	DataClass  netem.Class
+	AckClass   netem.Class
+	TokenClass netem.Class
+	// FreeSegs is the unscheduled first-RTT allowance (≈ one BDP).
+	FreeSegs int
+	// OutstandingCap bounds tokens-in-flight per flow (token leakage from
+	// lost data stops the arbiter wasting its downlink).
+	OutstandingCap int
+	// TokenTimeout expires outstanding tokens when no data has arrived
+	// for this long, replenishing the allowance (pHost's token expiry:
+	// lost data must not permanently consume the flow's token budget).
+	TokenTimeout sim.Time
+	// MinRTO is the recovery timer.
+	MinRTO sim.Time
+}
+
+// DefaultConfig returns a reasonable setup for the given fabric.
+func DefaultConfig() Config {
+	return Config{
+		DataClass:      netem.ClassFlex,
+		AckClass:       netem.ClassFlex,
+		TokenClass:     netem.ClassFlex,
+		FreeSegs:       8,
+		OutstandingCap: 16,
+		TokenTimeout:   500 * sim.Microsecond,
+		MinRTO:         4 * sim.Millisecond,
+	}
+}
+
+// participant is a flow taking part in a receiver's token arbitration.
+type participant interface {
+	demand() bool    // wants a token now
+	sendToken()      // emit one token toward the sender
+	completed() bool // flow finished (drop from the rotation)
+}
+
+// Arbiter is the per-receiver token scheduler: one token per segment
+// time at the downlink rate, round-robin over flows with demand.
+type Arbiter struct {
+	eng  *sim.Engine
+	host *netem.Host
+	rate units.Rate
+
+	flows   []participant
+	rr      int
+	ticking bool
+
+	// poll is the idle retry interval: when every flow is at its
+	// outstanding-token cap the arbiter re-checks at this period so token
+	// expiry can fire even with no arrivals.
+	poll sim.Time
+
+	// TokensSent counts all tokens emitted (stats).
+	TokensSent int64
+}
+
+// NewArbiter builds the token scheduler for a receiver host.
+func NewArbiter(eng *sim.Engine, host *netem.Host, downlink units.Rate) *Arbiter {
+	return &Arbiter{eng: eng, host: host, rate: downlink, poll: 200 * sim.Microsecond}
+}
+
+// register adds a flow to the rotation (idempotent).
+func (a *Arbiter) register(r participant) {
+	for _, f := range a.flows {
+		if f == r {
+			return
+		}
+	}
+	a.flows = append(a.flows, r)
+	a.wake()
+}
+
+// wake starts the token clock if any flow has demand; if flows are alive
+// but capped, it polls slowly so token expiry can replenish them.
+func (a *Arbiter) wake() {
+	if a.ticking {
+		return
+	}
+	switch {
+	case a.anyDemand():
+		a.ticking = true
+		a.eng.After(a.rate.TxTime(netem.MTUWire), a.tick)
+	case a.anyIncomplete():
+		a.ticking = true
+		a.eng.After(a.poll, a.tick)
+	}
+}
+
+func (a *Arbiter) anyDemand() bool {
+	for _, f := range a.flows {
+		if f.demand() {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Arbiter) anyIncomplete() bool {
+	for _, f := range a.flows {
+		if !f.completed() {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Arbiter) tick() {
+	a.ticking = false
+	n := len(a.flows)
+	for i := 0; i < n; i++ {
+		r := a.flows[a.rr]
+		a.rr = (a.rr + 1) % n
+		if r.demand() {
+			r.sendToken()
+			a.TokensSent++
+			break
+		}
+	}
+	// Compact completed flows occasionally.
+	if n > 16 {
+		alive := a.flows[:0]
+		for _, f := range a.flows {
+			if !f.completed() {
+				alive = append(alive, f)
+			}
+		}
+		a.flows = alive
+		if a.rr >= len(a.flows) {
+			a.rr = 0
+		}
+	}
+	a.wake()
+}
+
+// Segment states.
+const (
+	segPending uint8 = iota
+	segSent
+	segAcked
+	segLost
+)
+
+// Sender is the pHost send side: free first-RTT segments, then
+// token-clocked transmission.
+type Sender struct {
+	cfg  Config
+	eng  *sim.Engine
+	flow *transport.Flow
+
+	state    []uint8
+	lostQ    []int
+	nextNew  int
+	cumAck   int
+	sackHigh int
+	dupAcks  int
+	oldest   int
+	rescanOK bool
+
+	recoverPending bool
+	recoverBackoff uint
+	lastProgress   sim.Time
+	finished       bool
+}
+
+// NewSender builds the send side.
+func NewSender(eng *sim.Engine, flow *transport.Flow, cfg Config) *Sender {
+	return &Sender{cfg: cfg, eng: eng, flow: flow, state: make([]uint8, flow.Segs())}
+}
+
+// Begin fires the free first-RTT window (which doubles as the request).
+func (s *Sender) Begin() {
+	free := s.cfg.FreeSegs
+	if free > len(s.state) {
+		free = len(s.state)
+	}
+	for i := 0; i < free; i++ {
+		s.transmit(s.nextNew, false)
+		s.nextNew++
+	}
+	if free == 0 {
+		// Zero-length edge: still announce ourselves.
+		s.transmit(0, false)
+	}
+	s.armRecovery()
+}
+
+// Finished reports send-side completion.
+func (s *Sender) Finished() bool { return s.finished }
+
+func (s *Sender) transmit(seq int, retx bool) {
+	s.state[seq] = segSent
+	if retx {
+		s.flow.Retransmits++
+	}
+	s.flow.Src.Host.Send(&netem.Packet{
+		Kind:   netem.KindProData,
+		Class:  s.cfg.DataClass,
+		Dst:    s.flow.Dst.Host.NodeID(),
+		Flow:   s.flow.ID,
+		Seq:    uint32(seq),
+		SubSeq: uint32(seq),
+		Size:   s.flow.SegWire(seq),
+		SentAt: s.eng.Now(),
+	})
+}
+
+func (s *Sender) armRecovery() {
+	s.lastProgress = s.eng.Now()
+	if s.recoverPending || s.finished {
+		return
+	}
+	s.recoverPending = true
+	s.eng.After(s.cfg.MinRTO, s.checkRecovery)
+}
+
+func (s *Sender) checkRecovery() {
+	s.recoverPending = false
+	if s.finished {
+		return
+	}
+	bo := s.recoverBackoff
+	if bo > 4 {
+		bo = 4
+	}
+	deadline := s.lastProgress + s.cfg.MinRTO<<bo
+	if s.eng.Now() < deadline {
+		s.recoverPending = true
+		s.eng.At(deadline, s.checkRecovery)
+		return
+	}
+	s.flow.Timeouts++
+	s.recoverBackoff++
+	// Re-announce with the oldest unacked segment.
+	for s.oldest < len(s.state) && s.state[s.oldest] == segAcked {
+		s.oldest++
+	}
+	if s.oldest < len(s.state) {
+		s.transmit(s.oldest, true)
+	}
+	s.armRecovery()
+}
+
+func (s *Sender) pick() (int, bool) {
+	for len(s.lostQ) > 0 {
+		cand := s.lostQ[0]
+		s.lostQ = s.lostQ[1:]
+		if s.state[cand] == segLost {
+			return cand, true
+		}
+	}
+	if s.nextNew < len(s.state) {
+		seq := s.nextNew
+		s.nextNew++
+		return seq, false
+	}
+	for {
+		for s.oldest < len(s.state) && s.state[s.oldest] == segAcked {
+			s.oldest++
+		}
+		if s.oldest < len(s.state) {
+			seq := s.oldest
+			s.oldest++
+			return seq, true
+		}
+		if !s.rescanOK {
+			return -1, false
+		}
+		s.rescanOK = false
+		s.oldest = s.cumAck
+	}
+}
+
+// Handle processes tokens and ACKs.
+func (s *Sender) Handle(pkt *netem.Packet) {
+	switch pkt.Kind {
+	case netem.KindCredit: // token
+		if s.finished {
+			return
+		}
+		s.flow.CreditsGranted++
+		seq, retx := s.pick()
+		if seq < 0 {
+			s.flow.CreditsWasted++
+			return
+		}
+		s.transmit(seq, retx)
+		s.armRecovery()
+	case netem.KindAckPro:
+		s.onAck(pkt)
+	}
+}
+
+func (s *Sender) onAck(pkt *netem.Packet) {
+	if s.finished {
+		return
+	}
+	s.rescanOK = true
+	s.recoverBackoff = 0
+	cum := int(pkt.SubSeq)
+	sack := int(pkt.Seq)
+	if sack < len(s.state) && s.state[sack] != segAcked {
+		s.state[sack] = segAcked
+	}
+	if sack > s.sackHigh {
+		s.sackHigh = sack
+	}
+	if cum > s.cumAck {
+		for seq := s.cumAck; seq < cum && seq < len(s.state); seq++ {
+			s.state[seq] = segAcked
+		}
+		s.cumAck = cum
+		s.dupAcks = 0
+	} else if sack >= s.cumAck {
+		s.dupAcks++
+	}
+	if s.dupAcks >= 3 {
+		edge := s.sackHigh - 2
+		for seq := s.cumAck; seq < edge && seq < len(s.state); seq++ {
+			if s.state[seq] == segSent {
+				s.state[seq] = segLost
+				s.lostQ = append(s.lostQ, seq)
+			}
+		}
+	}
+	if s.cumAck >= len(s.state) {
+		s.finished = true
+		return
+	}
+	s.armRecovery()
+}
+
+// Receiver acknowledges data and participates in its host's token
+// arbitration.
+type Receiver struct {
+	cfg     Config
+	eng     *sim.Engine
+	flow    *transport.Flow
+	arbiter *Arbiter
+
+	got         []bool
+	cum         int
+	received    int
+	tokensSent  int
+	lastArrival sim.Time
+}
+
+// NewReceiver builds the receive side bound to the host's arbiter.
+func NewReceiver(eng *sim.Engine, flow *transport.Flow, arb *Arbiter, cfg Config) *Receiver {
+	return &Receiver{cfg: cfg, eng: eng, flow: flow, arbiter: arb, got: make([]bool, flow.Segs())}
+}
+
+// completed implements participant.
+func (r *Receiver) completed() bool { return r.flow.Completed }
+
+// demand reports whether this flow should receive more tokens: data still
+// missing and outstanding tokens under the cap. Tokens whose data never
+// arrived expire after TokenTimeout of silence and are re-issued.
+func (r *Receiver) demand() bool {
+	if r.flow.Completed || r.received >= r.flow.Segs() {
+		return false
+	}
+	tokened := r.received - r.cfg.FreeSegs // free segs arrive untokened
+	if tokened < 0 {
+		tokened = 0
+	}
+	outstanding := r.tokensSent - tokened
+	if outstanding < r.cfg.OutstandingCap {
+		return true
+	}
+	if r.eng.Now()-r.lastArrival > r.cfg.TokenTimeout {
+		// Expire the stuck allowance: the data for those tokens is gone.
+		r.tokensSent = tokened
+		return true
+	}
+	return false
+}
+
+func (r *Receiver) sendToken() {
+	r.tokensSent++
+	r.flow.Dst.Host.Send(&netem.Packet{
+		Kind:   netem.KindCredit,
+		Class:  r.cfg.TokenClass,
+		Dst:    r.flow.Src.Host.NodeID(),
+		Flow:   r.flow.ID,
+		Size:   netem.CtrlSize,
+		SentAt: r.eng.Now(),
+	})
+}
+
+// Handle processes data packets.
+func (r *Receiver) Handle(pkt *netem.Packet) {
+	if pkt.Kind != netem.KindProData {
+		return
+	}
+	r.lastArrival = r.eng.Now()
+	r.arbiter.register(r)
+	seq := int(pkt.SubSeq)
+	if seq < len(r.got) && !r.got[seq] {
+		r.got[seq] = true
+		r.received++
+		r.flow.RxBytes += int64(r.flow.SegPayload(seq))
+		for r.cum < len(r.got) && r.got[r.cum] {
+			r.cum++
+		}
+	} else {
+		r.flow.RedundantSegs++
+	}
+	r.flow.Dst.Host.Send(&netem.Packet{
+		Kind:   netem.KindAckPro,
+		Class:  r.cfg.AckClass,
+		Dst:    r.flow.Src.Host.NodeID(),
+		Flow:   r.flow.ID,
+		Seq:    pkt.SubSeq,
+		SubSeq: uint32(r.cum),
+		Size:   netem.AckSize,
+		SentAt: pkt.SentAt,
+	})
+	if r.received >= r.flow.Segs() {
+		r.flow.Complete(r.eng.Now())
+		return
+	}
+	r.arbiter.wake()
+}
+
+// Start wires a pHost pair onto the flow using the receiver host's
+// arbiter and begins the flow.
+func Start(eng *sim.Engine, flow *transport.Flow, arb *Arbiter, cfg Config) (*Sender, *Receiver) {
+	s := NewSender(eng, flow, cfg)
+	r := NewReceiver(eng, flow, arb, cfg)
+	flow.Src.Register(flow.ID, s)
+	flow.Dst.Register(flow.ID, r)
+	s.Begin()
+	return s, r
+}

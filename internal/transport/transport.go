@@ -1,0 +1,126 @@
+// Package transport provides the endpoint framework shared by all
+// transports in the repository: per-host demultiplexing, flow descriptors,
+// and completion accounting.
+package transport
+
+import (
+	"flexpass/internal/netem"
+	"flexpass/internal/sim"
+)
+
+// Endpoint handles packets of one flow at one host.
+type Endpoint interface {
+	Handle(pkt *netem.Packet)
+}
+
+// Agent owns a host's receive path and demultiplexes packets to endpoints
+// by flow ID.
+type Agent struct {
+	Host *netem.Host
+	Eng  *sim.Engine
+
+	flows map[uint64]Endpoint
+}
+
+// NewAgent installs an agent on h.
+func NewAgent(eng *sim.Engine, h *netem.Host) *Agent {
+	a := &Agent{Host: h, Eng: eng, flows: make(map[uint64]Endpoint)}
+	h.SetHandler(a.dispatch)
+	return a
+}
+
+// Register binds flow to ep.
+func (a *Agent) Register(flow uint64, ep Endpoint) { a.flows[flow] = ep }
+
+// Unregister removes the binding for flow.
+func (a *Agent) Unregister(flow uint64) { delete(a.flows, flow) }
+
+func (a *Agent) dispatch(pkt *netem.Packet) {
+	if ep, ok := a.flows[pkt.Flow]; ok {
+		ep.Handle(pkt)
+	}
+	// Packets for unknown flows (e.g. stragglers after completion) are
+	// dropped silently, as a real stack would RST/ignore.
+}
+
+// Flow describes one application flow and accumulates its statistics.
+// Transports share this struct: the sender updates the send-side counters
+// and the receiver the receive side.
+type Flow struct {
+	ID    uint64
+	Src   *Agent
+	Dst   *Agent
+	Size  int64 // application bytes
+	Start sim.Time
+
+	// Transport labels the transport ("dctcp", "expresspass", "flexpass",
+	// ...); Legacy tells legacy traffic apart from upgraded traffic in the
+	// deployment studies.
+	Transport string
+	Legacy    bool
+
+	// Live receive-side counters (sampled for throughput time series).
+	RxBytes    int64
+	RxBytesPro int64 // bytes delivered via the proactive sub-flow
+	RxBytesRe  int64 // bytes delivered via the reactive sub-flow
+
+	// Completion.
+	Completed  bool
+	Done       sim.Time
+	OnComplete func(*Flow)
+
+	// Send-side counters.
+	Timeouts       int   // RTO firings
+	Retransmits    int   // segments retransmitted after loss detection
+	RedundantSegs  int   // duplicate segments discarded at the receiver
+	ProRetx        int   // FlexPass proactive retransmissions sent
+	MaxReorderB    int64 // receiver reordering-buffer high-water mark, bytes
+	CreditsWasted  int   // credits that arrived with nothing to send
+	CreditsGranted int   // credits received
+}
+
+// Segs returns the number of MTU segments the flow occupies.
+func (f *Flow) Segs() int {
+	n := int((f.Size + netem.DataPayload - 1) / netem.DataPayload)
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// SegPayload returns the application bytes of segment seq.
+func (f *Flow) SegPayload(seq int) int {
+	last := f.Segs() - 1
+	if seq < last {
+		return netem.DataPayload
+	}
+	rem := int(f.Size - int64(last)*netem.DataPayload)
+	if rem <= 0 {
+		rem = netem.DataPayload
+	}
+	return rem
+}
+
+// SegWire returns the wire size of segment seq.
+func (f *Flow) SegWire(seq int) int { return netem.FrameBytes(f.SegPayload(seq)) }
+
+// Complete marks the flow done at time t (idempotent) and fires the
+// completion callback.
+func (f *Flow) Complete(t sim.Time) {
+	if f.Completed {
+		return
+	}
+	f.Completed = true
+	f.Done = t
+	if f.OnComplete != nil {
+		f.OnComplete(f)
+	}
+}
+
+// FCT returns the flow completion time, or -1 if not completed.
+func (f *Flow) FCT() sim.Time {
+	if !f.Completed {
+		return -1
+	}
+	return f.Done - f.Start
+}

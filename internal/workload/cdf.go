@@ -1,0 +1,122 @@
+// Package workload provides the paper's benchmark workloads: realistic
+// flow-size distributions (web search [2], cache follower [41], data
+// mining [14], Hadoop [41]), Poisson background arrivals calibrated to a
+// target core load, the §6.2 foreground incast generator, and the
+// per-rack deployment assignment.
+package workload
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// CDF is a piecewise-linear flow-size distribution: P(size <= Sizes[i]) =
+// Probs[i]. Sampling interpolates linearly between points.
+type CDF struct {
+	Name  string
+	Sizes []float64 // bytes, strictly increasing
+	Probs []float64 // nondecreasing, ending at 1
+}
+
+// NewCDF validates and builds a CDF.
+func NewCDF(name string, pts [][2]float64) *CDF {
+	c := &CDF{Name: name}
+	for i, p := range pts {
+		if i > 0 {
+			if p[0] <= c.Sizes[i-1] {
+				panic("workload: CDF sizes must increase")
+			}
+			if p[1] < c.Probs[i-1] {
+				panic("workload: CDF probs must be nondecreasing")
+			}
+		}
+		c.Sizes = append(c.Sizes, p[0])
+		c.Probs = append(c.Probs, p[1])
+	}
+	if c.Probs[len(c.Probs)-1] != 1 {
+		panic("workload: CDF must end at probability 1")
+	}
+	return c
+}
+
+// Sample draws a flow size in bytes.
+func (c *CDF) Sample(r *rand.Rand) int64 {
+	u := r.Float64()
+	i := sort.SearchFloat64s(c.Probs, u)
+	if i == 0 {
+		// Below the first point: scale within [~0, Sizes[0]].
+		frac := 0.0
+		if c.Probs[0] > 0 {
+			frac = u / c.Probs[0]
+		}
+		s := c.Sizes[0] * frac
+		if s < 1 {
+			s = 1
+		}
+		return int64(s)
+	}
+	if i >= len(c.Probs) {
+		return int64(c.Sizes[len(c.Sizes)-1])
+	}
+	p0, p1 := c.Probs[i-1], c.Probs[i]
+	s0, s1 := c.Sizes[i-1], c.Sizes[i]
+	if p1 == p0 {
+		return int64(s1)
+	}
+	return int64(s0 + (s1-s0)*(u-p0)/(p1-p0))
+}
+
+// Mean returns the expected flow size in bytes (closed form for the
+// piecewise-linear CDF).
+func (c *CDF) Mean() float64 {
+	mean := c.Sizes[0] / 2 * c.Probs[0] // ramp from ~0 to the first point
+	for i := 1; i < len(c.Sizes); i++ {
+		dp := c.Probs[i] - c.Probs[i-1]
+		mean += dp * (c.Sizes[i] + c.Sizes[i-1]) / 2
+	}
+	return mean
+}
+
+// The benchmark distributions. Web search and data mining are the widely
+// used tables from the DCTCP [2] and VL2 [14] papers; cache follower and
+// Hadoop approximate the Facebook production distributions of Roy et
+// al. [41] (many sub-KB/KB-scale flows with a heavy tail, and small
+// analytics flows, respectively).
+var (
+	WebSearch = NewCDF("websearch", [][2]float64{
+		{10_000, 0.15}, {20_000, 0.20}, {30_000, 0.30}, {50_000, 0.40},
+		{80_000, 0.53}, {200_000, 0.60}, {1_000_000, 0.70}, {2_000_000, 0.80},
+		{5_000_000, 0.90}, {10_000_000, 0.97}, {30_000_000, 1.0},
+	})
+	DataMining = NewCDF("datamining", [][2]float64{
+		{100, 0.015}, {180, 0.10}, {250, 0.20}, {560, 0.30}, {900, 0.40},
+		{1_100, 0.50}, {1_870, 0.60}, {3_160, 0.70}, {10_000, 0.80},
+		{400_000, 0.90}, {3_160_000, 0.95}, {100_000_000, 0.98},
+		{1_000_000_000, 1.0},
+	})
+	CacheFollower = NewCDF("cachefollower", [][2]float64{
+		{70, 0.15}, {300, 0.30}, {575, 0.45}, {1_150, 0.55}, {2_300, 0.65},
+		{7_000, 0.72}, {30_000, 0.80}, {100_000, 0.87}, {400_000, 0.92},
+		{1_500_000, 0.96}, {10_000_000, 1.0},
+	})
+	Hadoop = NewCDF("hadoop", [][2]float64{
+		{130, 0.20}, {250, 0.40}, {560, 0.55}, {1_100, 0.65}, {4_000, 0.75},
+		{16_000, 0.85}, {65_000, 0.92}, {260_000, 0.97}, {1_000_000, 0.99},
+		{10_000_000, 1.0},
+	})
+)
+
+// ByName looks up a distribution.
+func ByName(name string) *CDF {
+	switch name {
+	case "websearch":
+		return WebSearch
+	case "datamining":
+		return DataMining
+	case "cachefollower":
+		return CacheFollower
+	case "hadoop":
+		return Hadoop
+	}
+	return nil
+}

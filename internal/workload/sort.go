@@ -1,0 +1,9 @@
+package workload
+
+import "sort"
+
+// stableSortByAt orders flows by arrival time, preserving generation order
+// for equal instants (determinism).
+func stableSortByAt(fs []FlowSpec) {
+	sort.SliceStable(fs, func(i, j int) bool { return fs[i].At < fs[j].At })
+}

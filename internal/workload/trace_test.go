@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"flexpass/internal/sim"
+	"flexpass/internal/units"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	p := BackgroundParams{
+		CDF:            WebSearch,
+		Hosts:          48,
+		UplinkCapacity: 320 * units.Gbps,
+		Load:           0.5,
+		Duration:       5 * sim.Millisecond,
+	}
+	orig := p.Generate(rand.New(rand.NewSource(4)))
+	var b strings.Builder
+	if err := WriteTrace(&b, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip lost flows: %d vs %d", len(got), len(orig))
+	}
+	for i := range got {
+		if got[i].Src != orig[i].Src || got[i].Dst != orig[i].Dst || got[i].Size != orig[i].Size {
+			t.Fatalf("flow %d differs: %+v vs %+v", i, got[i], orig[i])
+		}
+		// Arrival times round to the exported microsecond precision.
+		d := got[i].At - orig[i].At
+		if d < -sim.Microsecond || d > sim.Microsecond {
+			t.Fatalf("flow %d arrival drifted by %v", i, d)
+		}
+	}
+}
+
+func TestReadTraceValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"wrong fields", "at_us,src,dst,size_bytes,incast\n1.0,2,3,100\n"},
+		{"negative time", "at_us,src,dst,size_bytes,incast\n-1.0,2,3,100,0\n"},
+		{"self flow", "at_us,src,dst,size_bytes,incast\n1.0,2,2,100,0\n"},
+		{"zero size", "at_us,src,dst,size_bytes,incast\n1.0,2,3,0,0\n"},
+		{"bad incast", "at_us,src,dst,size_bytes,incast\n1.0,2,3,100,7\n"},
+		{"garbage src", "at_us,src,dst,size_bytes,incast\n1.0,x,3,100,0\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestReadTraceSortsAndSkipsComments(t *testing.T) {
+	in := "at_us,src,dst,size_bytes,incast\n# comment\n5.0,1,2,100,0\n\n1.0,3,4,200,1\n"
+	flows, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 2 {
+		t.Fatalf("parsed %d flows", len(flows))
+	}
+	if flows[0].Size != 200 || !flows[0].Incast {
+		t.Fatalf("not sorted by arrival: %+v", flows[0])
+	}
+}
