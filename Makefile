@@ -1,0 +1,34 @@
+# Development entry points. `make check` is the gate CI (and humans)
+# should run before merging.
+
+GO ?= go
+
+.PHONY: all build vet test race check bench bench-sim clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet build race
+
+# Figure-level benchmarks (one per paper figure) plus the simulator's
+# raw events/sec self-report.
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Scheduler-only microbenchmarks: BenchmarkEventChurn reports events/sec.
+bench-sim:
+	$(GO) test -bench . -benchtime 2s -run '^$$' ./internal/sim/
+
+clean:
+	rm -f cpu.prof mem.prof run.jsonl

@@ -6,6 +6,7 @@ import (
 	"flexpass/internal/harness"
 	"flexpass/internal/metrics"
 	"flexpass/internal/netem"
+	"flexpass/internal/obs"
 	"flexpass/internal/sim"
 	"flexpass/internal/topo"
 	"flexpass/internal/transport"
@@ -42,7 +43,17 @@ type (
 	FlowRecord = metrics.FlowRecord
 	// CDF is a flow-size distribution.
 	CDF = workload.CDF
+	// TelemetryOptions enables the run-wide stats registry, periodic
+	// probes, and optional transport trace ring (Scenario.Telemetry).
+	TelemetryOptions = obs.Options
+	// RunArtifact is a completed run's exported telemetry (manifest,
+	// time series, counters, histograms, trace) — JSONL round-trippable.
+	RunArtifact = obs.Run
 )
+
+// ReadRunArtifact loads a JSONL run artifact written by
+// RunArtifact.WriteJSONLFile (or flexsim -telemetry-out).
+func ReadRunArtifact(path string) (*RunArtifact, error) { return obs.ReadJSONLFile(path) }
 
 // Common units.
 const (

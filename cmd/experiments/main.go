@@ -12,21 +12,26 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"flexpass/internal/harness"
+	"flexpass/internal/obs"
 	"flexpass/internal/sim"
 	"flexpass/internal/units"
 )
 
 var (
-	outDir = flag.String("out", "results", "output directory for CSV files")
-	full   = flag.Bool("full", false, "paper-scale fabric and durations")
-	figs   = flag.String("figs", "all", "comma-separated figure list (1,5,7,8,9,10,11,14,15,17,18,queue) or 'all'")
-	seed   = flag.Int64("seed", 1, "random seed")
-	seedsN = flag.Int("seeds", 1, "pool each deployment point over this many seeds")
-	durMS  = flag.Float64("dur", 0, "override flow arrival window (milliseconds)")
+	outDir    = flag.String("out", "results", "output directory for CSV files")
+	full      = flag.Bool("full", false, "paper-scale fabric and durations")
+	figs      = flag.String("figs", "all", "comma-separated figure list (1,5,7,8,9,10,11,14,15,17,18,queue) or 'all'")
+	seed      = flag.Int64("seed", 1, "random seed")
+	seedsN    = flag.Int("seeds", 1, "pool each deployment point over this many seeds")
+	durMS     = flag.Float64("dur", 0, "override flow arrival window (milliseconds)")
+	telOut    = flag.String("telemetry-out", "", "run the base scenario instrumented and write its JSONL run artifact here (skips the figure sweeps)")
+	traceRing = flag.Int("trace-ring", 0, "transport trace ring capacity for -telemetry-out runs")
+	pprofOut  = flag.String("pprof", "", "write a CPU profile of the experiment run to this file")
 )
 
 func main() {
@@ -52,6 +57,40 @@ func main() {
 		base.Duration = sim.Time(*durMS * float64(sim.Millisecond))
 	}
 	microDur := 80 * sim.Millisecond
+
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", *pprofOut)
+		}()
+	}
+
+	if *telOut != "" {
+		// One instrumented base-scenario run instead of the figure sweeps:
+		// the artifact is for inspecting a single simulation in depth.
+		sc := base
+		sc.SampleQueues = true
+		sc.Telemetry = &obs.Options{TraceCap: *traceRing}
+		res := harness.Run(sc)
+		if res.Telemetry == nil {
+			fatal(fmt.Errorf("telemetry run produced no artifact"))
+		}
+		if err := res.Telemetry.WriteJSONLFile(*telOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("telemetry artifact written to %s (%d series, %d counters, %d trace events, %.0f events/sec)\n",
+			*telOut, len(res.Telemetry.Series), len(res.Telemetry.Counters),
+			len(res.Telemetry.Trace), res.Telemetry.Manifest.EventsPerSec)
+		return
+	}
 
 	start := time.Now()
 	if sel("1") {

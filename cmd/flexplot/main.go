@@ -1,8 +1,12 @@
-// Command flexplot renders the CSV files cmd/experiments writes as ASCII
-// charts in the terminal.
+// Command flexplot renders the CSV files cmd/experiments writes — and the
+// JSONL run artifacts cmd/flexsim -telemetry-out writes — as ASCII charts
+// in the terminal.
 //
 //	flexplot results/fig1a.csv              # time series (Gbps over ms)
 //	flexplot -x deployment -y p99_small_us -group scheme results/fig10_12_13.csv
+//	flexplot run.jsonl                      # list available telemetry series
+//	flexplot -y bytes -entity 'port/tor0:up0/q1' run.jsonl
+//	flexplot -y tx_bytes -rate run.jsonl    # delta series as bytes/sec
 package main
 
 import (
@@ -11,14 +15,18 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
+	"flexpass/internal/obs"
 	"flexpass/internal/plot"
 )
 
 var (
 	xCol   = flag.String("x", "", "x column (default: first column)")
-	yCol   = flag.String("y", "", "y column (default: all remaining numeric columns)")
+	yCol   = flag.String("y", "", "y column (default: all remaining numeric columns); for .jsonl artifacts, the series metric to plot")
 	group  = flag.String("group", "", "split series by this column's values")
+	entity = flag.String("entity", "", "for .jsonl artifacts: only plot series whose entity contains this substring")
+	rate   = flag.Bool("rate", false, "for .jsonl artifacts: convert delta series to a per-second rate")
 	title  = flag.String("title", "", "chart title (default: file name)")
 	width  = flag.Int("w", 72, "chart width")
 	height = flag.Int("h", 20, "chart height")
@@ -27,10 +35,14 @@ var (
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: flexplot [flags] <file.csv>")
+		fmt.Fprintln(os.Stderr, "usage: flexplot [flags] <file.csv|run.jsonl>")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
+	if strings.HasSuffix(path, ".jsonl") {
+		plotArtifact(path)
+		return
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -112,6 +124,73 @@ func main() {
 				ch.Series = append(ch.Series, s)
 			}
 		}
+	}
+	if err := ch.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// plotArtifact renders series from a flexsim/experiments telemetry run
+// artifact. Without -y it lists what the artifact contains.
+func plotArtifact(path string) {
+	run, err := obs.ReadJSONLFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	m := run.Manifest
+	if *yCol == "" {
+		fmt.Printf("%s: scheme=%s workload=%s seed=%d load=%.2f deployment=%.2f\n",
+			path, m.Scheme, m.Workload, m.Seed, m.Load, m.Deployment)
+		fmt.Printf("%d series, %d counters, %d histograms, %d trace events; %.0f events/sec\n\n",
+			len(run.Series), len(run.Counters), len(run.Hists), len(run.Trace), m.EventsPerSec)
+		fmt.Println("series (pick one with -y <metric> [-entity <substr>]):")
+		seen := map[string]int{}
+		var order []string
+		for _, s := range run.Series {
+			key := s.Metric + " (" + s.Kind + ")"
+			if _, ok := seen[key]; !ok {
+				order = append(order, key)
+			}
+			seen[key]++
+		}
+		for _, k := range order {
+			fmt.Printf("  %-28s ×%d entities\n", k, seen[k])
+		}
+		return
+	}
+
+	chartTitle := *title
+	if chartTitle == "" {
+		chartTitle = fmt.Sprintf("%s: %s", path, *yCol)
+	}
+	ch := &plot.Chart{Title: chartTitle, XLabel: "time_ms", YLabel: *yCol,
+		Width: *width, Height: *height}
+	for _, s := range run.SeriesMatching(*yCol) {
+		if *entity != "" && !strings.Contains(s.Entity, *entity) {
+			continue
+		}
+		ps := plot.Series{Name: s.Entity}
+		intervalSec := float64(s.IntervalPs) * 1e-12
+		for i, v := range s.Values {
+			// Sample i covers (start+(i-1)·interval, start+i·interval];
+			// plot it at the window's closing edge.
+			t := float64(s.StartPs+int64(i)*s.IntervalPs) * 1e-9 // ms
+			y := float64(v)
+			if *rate && s.Kind == "delta" && intervalSec > 0 {
+				y /= intervalSec
+			}
+			ps.X = append(ps.X, t)
+			ps.Y = append(ps.Y, y)
+		}
+		if len(ps.X) > 0 {
+			ch.Series = append(ch.Series, ps)
+		}
+	}
+	if len(ch.Series) == 0 {
+		fatal(fmt.Errorf("no series match -y %q -entity %q (run without -y to list)", *yCol, *entity))
+	}
+	if *rate {
+		ch.YLabel = *yCol + "/sec"
 	}
 	if err := ch.Render(os.Stdout); err != nil {
 		fatal(err)

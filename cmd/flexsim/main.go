@@ -10,9 +10,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"strings"
 
 	"flexpass/internal/harness"
 	"flexpass/internal/metrics"
+	"flexpass/internal/obs"
 	"flexpass/internal/sim"
 	"flexpass/internal/units"
 	"flexpass/internal/workload"
@@ -32,6 +35,9 @@ func main() {
 		queues     = flag.Bool("queues", false, "sample Q1 occupancy at ToR uplinks")
 		traceIn    = flag.String("trace", "", "replay a CSV flow trace instead of generating traffic")
 		traceOut   = flag.String("dump-trace", "", "write the generated workload as a CSV trace and exit")
+		telOut     = flag.String("telemetry-out", "", "write the run artifact (manifest, series, counters, trace) as JSONL — or CSV if the path ends in .csv")
+		traceRing  = flag.Int("trace-ring", 0, "capacity of the transport event trace ring (0 disables; dumped to stderr unless -telemetry-out captures it)")
+		pprofOut   = flag.String("pprof", "", "write a CPU profile of the simulation to this file")
 	)
 	flag.Parse()
 
@@ -95,7 +101,53 @@ func main() {
 		return
 	}
 
+	if *telOut != "" || *traceRing > 0 {
+		sc.Telemetry = &obs.Options{TraceCap: *traceRing}
+	}
+	var profFile *os.File
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		profFile = f
+	}
+
 	res := harness.Run(sc)
+
+	if profFile != nil {
+		pprof.StopCPUProfile()
+		profFile.Close()
+		fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", *pprofOut)
+	}
+	if res.Telemetry != nil && *telOut != "" {
+		var err error
+		if strings.HasSuffix(*telOut, ".csv") {
+			var f *os.File
+			if f, err = os.Create(*telOut); err == nil {
+				err = res.Telemetry.WriteCSV(f)
+				f.Close()
+			}
+		} else {
+			err = res.Telemetry.WriteJSONLFile(*telOut)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry written to %s (%d series, %d counters, %d trace events)\n",
+			*telOut, len(res.Telemetry.Series), len(res.Telemetry.Counters), len(res.Telemetry.Trace))
+	} else if res.Trace != nil && res.Trace.Len() > 0 {
+		fmt.Fprintf(os.Stderr, "-- trace ring (%d events, %d overwritten) --\n",
+			res.Trace.Len(), res.Trace.Overwritten())
+		_ = res.Trace.Dump(os.Stderr)
+	}
+
 	c := &res.Flows
 	small := metrics.Small()
 	legacy, upgraded := small, small

@@ -8,11 +8,14 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"flexpass/internal/metrics"
 	"flexpass/internal/netem"
+	"flexpass/internal/obs"
 	"flexpass/internal/sim"
 	"flexpass/internal/topo"
+	"flexpass/internal/trace"
 	"flexpass/internal/transport"
 	"flexpass/internal/transport/dctcp"
 	"flexpass/internal/transport/expresspass"
@@ -66,6 +69,14 @@ type Scenario struct {
 
 	// SampleQueues enables Q1 occupancy sampling at ToR uplinks.
 	SampleQueues bool
+
+	// Telemetry, when non-nil, enables the obs instrumentation plane:
+	// the fabric and every transport register into a central registry, a
+	// periodic prober samples them into time series, and Result.Telemetry
+	// carries the exportable run artifact. Probing is observation-only —
+	// enabling it never changes simulation results, only adds observer
+	// events to the heap.
+	Telemetry *obs.Options
 
 	// DisableProRetx ablates FlexPass's proactive retransmission (§4.2).
 	DisableProRetx bool
@@ -127,6 +138,13 @@ type Result struct {
 	DropsCredit int64  // credits dropped by rate limiters (the ExpressPass feedback signal)
 	DropsOther  int64  // data drops from buffer exhaustion
 	Events      uint64 // engine events processed (perf visibility)
+
+	// WallClock is the host time spent inside the event loop.
+	WallClock time.Duration
+	// Telemetry is the exportable run artifact (when Scenario.Telemetry
+	// is set); Trace is the shared transport trace ring (when TraceCap>0).
+	Telemetry *obs.Run
+	Trace     *trace.Ring
 }
 
 // WorkloadRand returns the deterministic random stream Run uses for
@@ -148,6 +166,14 @@ func rackAssignment(c topo.ClosParams) []int {
 // Run executes the scenario and returns collected metrics.
 func Run(sc Scenario) *Result {
 	eng := sim.NewEngine(sc.Seed)
+	var reg *obs.Registry
+	var ring *trace.Ring
+	if sc.Telemetry != nil {
+		reg = obs.NewRegistry()
+		if sc.Telemetry.TraceCap > 0 {
+			ring = trace.NewRing(eng, sc.Telemetry.TraceCap)
+		}
+	}
 	rackOf := rackAssignment(sc.Clos)
 	hosts := sc.Clos.Hosts()
 	racks := hosts / sc.Clos.HostsPerTor
@@ -236,6 +262,7 @@ func Run(sc Scenario) *Result {
 	for i := range agents {
 		agents[i] = transport.NewAgent(eng, fab.Net.Host(i))
 	}
+	fab.Net.Register(reg)
 
 	res := &Result{Scenario: sc, OracleWQ: oracleWQ}
 
@@ -250,6 +277,19 @@ func Run(sc Scenario) *Result {
 	fpCfg := flexpass.DefaultConfig(flexPacer)
 	fpCfg.DisableProRetx = sc.DisableProRetx
 	fpCfg.Reactive = sc.Reactive
+
+	// Telemetry hookup: one counter set per transport label, one shared
+	// trace ring. With telemetry off these are zero values and free.
+	legacyCfg.Stats = transport.NewCounters(reg, "dctcp")
+	legacyCfg.Trace = ring
+	xpStats := transport.NewCounters(reg, "expresspass")
+	xpCfg.Stats, owfCfg.Stats = xpStats, xpStats
+	xpCfg.Trace, owfCfg.Trace = ring, ring
+	lyCfg.Stats = transport.NewCounters(reg, "layering")
+	lyCfg.Trace = ring
+	fpCfg.Stats = transport.NewCounters(reg, "flexpass")
+	fpCfg.Trace = ring
+
 	altqCfg := fpCfg
 	altqCfg.ReClass = netem.ClassLegacy
 	rc3Cfg := fpCfg
@@ -303,8 +343,14 @@ func Run(sc Scenario) *Result {
 		})
 	}
 
+	prober := obs.NewProber(eng, reg, sc.Telemetry)
+	prober.Start()
+
+	// Without telemetry the ad-hoc queue sampler provides Q1 occupancy;
+	// with it, the prober's per-queue gauge series are consumed instead of
+	// re-deriving the same samples with a second scheduler.
 	var qs *metrics.QueueSampler
-	if sc.SampleQueues {
+	if sc.SampleQueues && prober == nil {
 		qs = metrics.NewQueueSampler(eng, 100*sim.Microsecond)
 		idx := fab.FlexQueueIndex
 		for _, up := range fab.TorUplinks {
@@ -314,7 +360,9 @@ func Run(sc Scenario) *Result {
 		qs.Start()
 	}
 
+	wallStart := time.Now()
 	eng.Run(sc.Duration + sc.Drain)
+	res.WallClock = time.Since(wallStart)
 
 	for _, fl := range all {
 		res.Flows.Add(metrics.Snapshot(fl, incastOf[fl.ID]))
@@ -322,6 +370,20 @@ func Run(sc Scenario) *Result {
 	if qs != nil {
 		res.QueueAvg, res.QueueP90 = metrics.Stats(qs.Totals, 0.9)
 		res.QueueRedAvg, res.QueueRedP90 = metrics.Stats(qs.Reds, 0.9)
+	} else if sc.SampleQueues {
+		var totals, reds []int64
+		idx := fab.FlexQueueIndex
+		for _, up := range fab.TorUplinks {
+			ent := fmt.Sprintf("port/%s/q%d", up.Name(), idx)
+			if s := prober.Find(ent, "bytes"); s != nil {
+				totals = append(totals, s.Values()...)
+			}
+			if s := prober.Find(ent, "red_bytes"); s != nil {
+				reds = append(reds, s.Values()...)
+			}
+		}
+		res.QueueAvg, res.QueueP90 = metrics.Stats(totals, 0.9)
+		res.QueueRedAvg, res.QueueRedP90 = metrics.Stats(reds, 0.9)
 	}
 	countPort := func(p *netem.Port) {
 		for q := 0; q < p.NumQueues(); q++ {
@@ -343,5 +405,41 @@ func Run(sc Scenario) *Result {
 		countPort(h.NIC())
 	}
 	res.Events = eng.Processed
+	res.Trace = ring
+
+	if reg != nil {
+		wl := ""
+		if sc.Workload != nil {
+			wl = sc.Workload.Name
+		}
+		wallMS := float64(res.WallClock) / float64(time.Millisecond)
+		eps := 0.0
+		if secs := res.WallClock.Seconds(); secs > 0 {
+			eps = float64(res.Events) / secs
+		}
+		res.Telemetry = obs.Collect(reg, prober, obs.Manifest{
+			Seed: sc.Seed,
+			Topology: fmt.Sprintf("clos pods=%d agg/pod=%d tor/pod=%d hosts/tor=%d cores=%d hosts=%d",
+				sc.Clos.Pods, sc.Clos.AggPerPod, sc.Clos.TorPerPod, sc.Clos.HostsPerTor, sc.Clos.Cores, hosts),
+			Scheme:     string(sc.Scheme),
+			Workload:   wl,
+			Load:       sc.Load,
+			Deployment: sc.Deployment,
+			WQ:         sc.WQ,
+			DurationPs: int64(sc.Duration + sc.Drain),
+			Config: map[string]string{
+				"link_rate":      sc.LinkRate.String(),
+				"link_delay":     sc.LinkDelay.String(),
+				"host_delay":     sc.HostDelay.String(),
+				"switch_buf":     sc.SwitchBuf.String(),
+				"buf_alpha":      fmt.Sprintf("%g", sc.BufAlpha),
+				"probe_interval": prober.Interval().String(),
+			},
+			WallMS:       wallMS,
+			Events:       res.Events,
+			EventsPerSec: eps,
+		})
+		res.Telemetry.AttachTrace(ring)
+	}
 	return res
 }

@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"path/filepath"
+	"testing"
+
+	"flexpass/internal/obs"
+	"flexpass/internal/sim"
+	"flexpass/internal/topo"
+	"flexpass/internal/units"
+	"flexpass/internal/workload"
+)
+
+func telemetryScenario() Scenario {
+	return Scenario{
+		Seed:         7,
+		Clos:         topo.ClosParams{Pods: 2, AggPerPod: 1, TorPerPod: 1, HostsPerTor: 3, Cores: 1},
+		LinkRate:     10 * units.Gbps,
+		LinkDelay:    2 * sim.Microsecond,
+		HostDelay:    sim.Microsecond,
+		SwitchBuf:    1000 * units.KB,
+		BufAlpha:     0.25,
+		Scheme:       SchemeFlexPass,
+		WQ:           0.5,
+		Workload:     workload.WebSearch,
+		Load:         0.4,
+		Deployment:   1.0,
+		Duration:     2 * sim.Millisecond,
+		Drain:        10 * sim.Millisecond,
+		SampleQueues: true,
+		Telemetry:    &obs.Options{TraceCap: 1024},
+	}
+}
+
+// TestTelemetryRunArtifact is the tentpole's acceptance test: a telemetry
+// run yields a manifest, queue-occupancy and throughput series, final
+// counters, trace events — and the artifact round-trips through JSONL.
+func TestTelemetryRunArtifact(t *testing.T) {
+	res := Run(telemetryScenario())
+	run := res.Telemetry
+	if run == nil {
+		t.Fatal("telemetry enabled but Result.Telemetry is nil")
+	}
+
+	m := run.Manifest
+	if m.Schema != obs.SchemaVersion || m.Seed != 7 || m.Scheme != "flexpass" ||
+		m.Workload != "websearch" || m.DurationPs != int64(12*sim.Millisecond) {
+		t.Fatalf("manifest wrong: %+v", m)
+	}
+	if m.Events == 0 || m.EventsPerSec <= 0 || m.WallMS <= 0 {
+		t.Fatalf("manifest perf self-report missing: %+v", m)
+	}
+	if m.Config["link_rate"] == "" || m.Config["probe_interval"] == "" {
+		t.Fatalf("manifest config missing: %+v", m.Config)
+	}
+
+	// Queue-occupancy series (instant) and port throughput series (delta)
+	// — the ingredients of the paper's Fig. 6-style timeline.
+	var sawQueue, sawTx bool
+	for _, s := range run.Series {
+		if s.Metric == "bytes" && s.Kind == "instant" && len(s.Values) > 0 {
+			sawQueue = true
+		}
+		if s.Metric == "tx_bytes" && s.Kind == "delta" && len(s.Values) > 0 {
+			sawTx = true
+		}
+	}
+	if !sawQueue || !sawTx {
+		t.Fatalf("missing series: queue=%v tx=%v (have %d series)", sawQueue, sawTx, len(run.Series))
+	}
+
+	// Per-transport counters: flexpass flows ran, so its counters moved.
+	started := false
+	for _, c := range run.Counters {
+		if c.Entity == "transport/flexpass" && c.Metric == "flows_started" && c.Value > 0 {
+			started = true
+		}
+	}
+	if !started {
+		t.Fatal("transport/flexpass flows_started counter did not move")
+	}
+	if len(run.Trace) == 0 {
+		t.Fatal("trace ring attached but no events exported")
+	}
+	if res.Trace == nil || res.Trace.Len() == 0 {
+		t.Fatal("Result.Trace missing")
+	}
+
+	// Queue stats were derived from the probe series, not a second sampler.
+	if res.QueueAvg < 0 || res.QueueP90 < res.QueueAvg {
+		t.Fatalf("queue stats from series look wrong: avg=%d p90=%d", res.QueueAvg, res.QueueP90)
+	}
+
+	// Round-trip through a file.
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := run.WriteJSONLFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := obs.ReadJSONLFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Manifest.Seed != run.Manifest.Seed || got.Manifest.Events != run.Manifest.Events ||
+		got.Manifest.Config["link_rate"] != run.Manifest.Config["link_rate"] {
+		t.Fatalf("manifest did not round-trip: %+v", got.Manifest)
+	}
+	if len(got.Series) != len(run.Series) || len(got.Counters) != len(run.Counters) ||
+		len(got.Hists) != len(run.Hists) || len(got.Trace) != len(run.Trace) {
+		t.Fatal("artifact shape changed across round trip")
+	}
+}
+
+// TestTelemetryDoesNotPerturb verifies the observation-only claim: the
+// same scenario with and without telemetry produces identical flow
+// results (probe events only read state).
+func TestTelemetryDoesNotPerturb(t *testing.T) {
+	sc := telemetryScenario()
+	withTel := Run(sc)
+	sc.Telemetry = nil
+	without := Run(sc)
+
+	a, b := withTel.Flows.Records, without.Flows.Records
+	if len(a) != len(b) {
+		t.Fatalf("flow counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].FCT != b[i].FCT || a[i].Size != b[i].Size {
+			t.Fatalf("flow %d diverged: telemetry %+v vs plain %+v", i, a[i], b[i])
+		}
+	}
+	if withTel.DropsRed != without.DropsRed || withTel.DropsOther != without.DropsOther {
+		t.Fatal("drop counts diverged under telemetry")
+	}
+}

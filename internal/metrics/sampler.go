@@ -44,16 +44,13 @@ func (s *Sampler) Start() {
 		return
 	}
 	s.running = true
-	var tick func()
-	tick = func() {
+	s.eng.Every(s.interval, func() {
 		for _, name := range s.names {
 			cur := s.sources[name]()
 			s.series[name] = append(s.series[name], cur-s.last[name])
 			s.last[name] = cur
 		}
-		s.eng.After(s.interval, tick)
-	}
-	s.eng.After(s.interval, tick)
+	})
 }
 
 // Interval returns the sampling interval.
@@ -130,16 +127,13 @@ func (q *QueueSampler) Start() {
 		return
 	}
 	q.running = true
-	var tick func()
-	tick = func() {
+	q.eng.Every(q.interval, func() {
 		for _, fn := range q.sources {
 			t, r := fn()
 			q.Totals = append(q.Totals, t)
 			q.Reds = append(q.Reds, r)
 		}
-		q.eng.After(q.interval, tick)
-	}
-	q.eng.After(q.interval, tick)
+	})
 }
 
 // Stats summarizes samples: mean and p-quantile.

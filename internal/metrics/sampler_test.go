@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"testing"
+
+	"flexpass/internal/sim"
+	"flexpass/internal/units"
+)
+
+func TestSamplerDeltasAndRates(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewSampler(eng, 10*sim.Microsecond)
+
+	var bytes int64
+	s.Track("grp", func() int64 { return bytes })
+	// Track must dedup names: re-registering replaces the source without
+	// doubling the per-tick appends.
+	s.Track("grp", func() int64 { return bytes })
+
+	// Add 100 bytes at 5µs offsets so each 10µs window sees exactly one
+	// addition regardless of same-instant tie-breaking.
+	for i := 0; i < 8; i++ {
+		eng.At(sim.Time(5+10*i)*sim.Microsecond, func() { bytes += 100 })
+	}
+	s.Start()
+	s.Start() // idempotent
+	eng.Run(45 * sim.Microsecond)
+
+	deltas := s.Series("grp")
+	if len(deltas) != 4 {
+		t.Fatalf("series len = %d, want 4 (duplicate Track doubled samples?)", len(deltas))
+	}
+	for i, d := range deltas {
+		if d != 100 {
+			t.Fatalf("delta[%d] = %d, want 100", i, d)
+		}
+	}
+
+	rates := s.Rates("grp")
+	if len(rates) != 4 {
+		t.Fatalf("rates len = %d", len(rates))
+	}
+	want := units.RateOf(100, 10*sim.Microsecond)
+	for i, r := range rates {
+		if r != want {
+			t.Fatalf("rate[%d] = %v, want %v", i, r, want)
+		}
+	}
+	if s.Interval() != 10*sim.Microsecond {
+		t.Fatalf("interval = %v", s.Interval())
+	}
+}
+
+func TestStarvationFractionEdgeCases(t *testing.T) {
+	mk := func(vals ...int64) []units.Rate {
+		out := make([]units.Rate, len(vals))
+		for i, v := range vals {
+			out[i] = units.Rate(v)
+		}
+		return out
+	}
+	// Length mismatch truncates to the shorter series.
+	fa, fb := StarvationFraction(mk(0), mk(0, 100, 100), 10, false)
+	if fa != 1 || fb != 1 {
+		t.Fatalf("truncation: fa=%v fb=%v", fa, fb)
+	}
+	if fa, fb := StarvationFraction(nil, nil, 10, false); fa != 0 || fb != 0 {
+		t.Fatal("empty input must be 0/0")
+	}
+	if fa, fb := StarvationFraction(mk(0), mk(0), 10, true); fa != 0 || fb != 0 {
+		t.Fatal("all-idle with skipIdle must be 0/0")
+	}
+}
+
+func TestQueueSamplerCollects(t *testing.T) {
+	eng := sim.NewEngine(1)
+	q := NewQueueSampler(eng, 10*sim.Microsecond)
+
+	var total, red int64
+	q.Track(func() (int64, int64) { return total, red })
+	q.Track(func() (int64, int64) { return 2 * total, red })
+
+	eng.At(5*sim.Microsecond, func() { total, red = 100, 30 })
+	q.Start()
+	q.Start() // idempotent
+	eng.Run(25 * sim.Microsecond)
+
+	// Two ticks × two sources.
+	if len(q.Totals) != 4 || len(q.Reds) != 4 {
+		t.Fatalf("samples = %d/%d, want 4/4", len(q.Totals), len(q.Reds))
+	}
+	wantTotals := []int64{100, 200, 100, 200}
+	for i, v := range q.Totals {
+		if v != wantTotals[i] {
+			t.Fatalf("Totals[%d] = %d, want %d", i, v, wantTotals[i])
+		}
+		if q.Reds[i] != 30 {
+			t.Fatalf("Reds[%d] = %d, want 30", i, q.Reds[i])
+		}
+	}
+}
+
+func TestStatsMeanAndQuantile(t *testing.T) {
+	mean, p90 := Stats([]int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}, 0.9)
+	if mean != 55 {
+		t.Fatalf("mean = %d, want 55", mean)
+	}
+	if p90 != 90 {
+		t.Fatalf("p90 = %d, want 90", p90)
+	}
+	if mean, pctl := Stats(nil, 0.9); mean != 0 || pctl != 0 {
+		t.Fatal("empty Stats must be 0/0")
+	}
+}

@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"flexpass/internal/sim"
+	"flexpass/internal/trace"
+)
+
+// SchemaVersion identifies the JSONL artifact layout. Bump on any
+// incompatible change to the line structs below.
+const SchemaVersion = 1
+
+// Manifest is the run's self-description: everything needed to
+// re-run or interpret the artifact without the producing binary.
+type Manifest struct {
+	Schema     int     `json:"schema"`
+	Seed       int64   `json:"seed"`
+	Topology   string  `json:"topology"`
+	Scheme     string  `json:"scheme"`
+	Workload   string  `json:"workload,omitempty"`
+	Load       float64 `json:"load,omitempty"`
+	Deployment float64 `json:"deployment,omitempty"`
+	WQ         float64 `json:"wq,omitempty"`
+	DurationPs int64   `json:"duration_ps"`
+	// Config holds free-form knob values not covered by the typed fields.
+	Config map[string]string `json:"config,omitempty"`
+	// Perf self-report: wall-clock runtime, events dispatched, rate.
+	WallMS       float64 `json:"wall_ms"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// SeriesData is one exported time series.
+type SeriesData struct {
+	Entity     string  `json:"entity"`
+	Metric     string  `json:"metric"`
+	Kind       string  `json:"kind"` // "delta" or "instant"
+	IntervalPs int64   `json:"interval_ps"`
+	StartPs    int64   `json:"start_ps"` // time of the first retained sample
+	Dropped    int64   `json:"dropped,omitempty"`
+	Values     []int64 `json:"values"`
+}
+
+// CounterData is one source's closing value.
+type CounterData struct {
+	Entity string `json:"entity"`
+	Metric string `json:"metric"`
+	Kind   string `json:"kind"`
+	Value  int64  `json:"value"`
+}
+
+// HistData is one histogram's final bucket counts. Buckets are
+// power-of-two upper bounds; zero-count buckets are elided.
+type HistData struct {
+	Entity string  `json:"entity"`
+	Metric string  `json:"metric"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+	Le     []int64 `json:"le"`     // exclusive upper bound per bucket
+	Counts []int64 `json:"counts"` // observations per bucket
+}
+
+// TraceData is one transport trace event.
+type TraceData struct {
+	AtPs int64  `json:"at_ps"`
+	Kind string `json:"kind"`
+	Flow uint64 `json:"flow"`
+	Seq  int64  `json:"seq"`
+	Note string `json:"note,omitempty"`
+}
+
+// Run is a complete run artifact: one manifest plus every collected
+// series, closing counter, histogram, and trace event.
+type Run struct {
+	Manifest Manifest
+	Series   []SeriesData
+	Counters []CounterData
+	Hists    []HistData
+	Trace    []TraceData
+}
+
+// Collect assembles a run artifact from the registry's closing values
+// and the prober's series (either may be nil).
+func Collect(reg *Registry, p *Prober, m Manifest) *Run {
+	m.Schema = SchemaVersion
+	r := &Run{Manifest: m}
+	for _, s := range p.Series() {
+		r.Series = append(r.Series, SeriesData{
+			Entity: s.Entity, Metric: s.Metric, Kind: s.Kind.String(),
+			IntervalPs: int64(s.Interval), StartPs: int64(s.Start()),
+			Dropped: s.Dropped(), Values: s.Values(),
+		})
+	}
+	for _, c := range reg.Final() {
+		r.Counters = append(r.Counters, CounterData{
+			Entity: c.Entity, Metric: c.Metric, Kind: c.Kind.String(), Value: c.Value,
+		})
+	}
+	if reg != nil {
+		for _, h := range reg.hists {
+			hd := HistData{Entity: h.entity, Metric: h.metric, Count: h.n, Sum: h.sum}
+			for i, c := range h.counts {
+				if c == 0 {
+					continue
+				}
+				hd.Le = append(hd.Le, bucketLe(i))
+				hd.Counts = append(hd.Counts, c)
+			}
+			r.Hists = append(r.Hists, hd)
+		}
+	}
+	return r
+}
+
+// AttachTrace appends the ring's events to the artifact.
+func (r *Run) AttachTrace(ring *trace.Ring) {
+	for _, ev := range ring.Events() {
+		r.Trace = append(r.Trace, TraceData{
+			AtPs: int64(ev.At), Kind: ev.Kind.String(),
+			Flow: ev.Flow, Seq: ev.Seq, Note: ev.Note,
+		})
+	}
+}
+
+// FindSeries returns the series for entity/metric, or nil.
+func (r *Run) FindSeries(entity, metric string) *SeriesData {
+	for i := range r.Series {
+		if r.Series[i].Entity == entity && r.Series[i].Metric == metric {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// SeriesMatching returns every series whose metric equals metric.
+func (r *Run) SeriesMatching(metric string) []SeriesData {
+	var out []SeriesData
+	for _, s := range r.Series {
+		if s.Metric == metric {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// jsonlLine is the on-disk envelope: a type tag plus exactly one of the
+// payload pointers. Emitting a shared envelope keeps readers trivial —
+// they switch on "type" and unmarshal once.
+type jsonlLine struct {
+	Type     string       `json:"type"`
+	Manifest *Manifest    `json:"manifest,omitempty"`
+	Series   *SeriesData  `json:"series,omitempty"`
+	Counter  *CounterData `json:"counter,omitempty"`
+	Hist     *HistData    `json:"hist,omitempty"`
+	Trace    *TraceData   `json:"trace,omitempty"`
+}
+
+// WriteJSONL streams the artifact: first the manifest line, then one
+// line per series, counter, histogram, and trace event.
+func (r *Run) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonlLine{Type: "manifest", Manifest: &r.Manifest}); err != nil {
+		return err
+	}
+	for i := range r.Series {
+		if err := enc.Encode(jsonlLine{Type: "series", Series: &r.Series[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range r.Counters {
+		if err := enc.Encode(jsonlLine{Type: "counter", Counter: &r.Counters[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range r.Hists {
+		if err := enc.Encode(jsonlLine{Type: "hist", Hist: &r.Hists[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range r.Trace {
+		if err := enc.Encode(jsonlLine{Type: "trace", Trace: &r.Trace[i]}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSONLFile writes the artifact to path.
+func (r *Run) WriteJSONLFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadJSONL parses an artifact written by WriteJSONL.
+func ReadJSONL(rd io.Reader) (*Run, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	r := &Run{}
+	sawManifest := false
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var l jsonlLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		switch l.Type {
+		case "manifest":
+			if l.Manifest == nil {
+				return nil, fmt.Errorf("obs: line %d: manifest line without payload", line)
+			}
+			r.Manifest = *l.Manifest
+			sawManifest = true
+		case "series":
+			if l.Series != nil {
+				r.Series = append(r.Series, *l.Series)
+			}
+		case "counter":
+			if l.Counter != nil {
+				r.Counters = append(r.Counters, *l.Counter)
+			}
+		case "hist":
+			if l.Hist != nil {
+				r.Hists = append(r.Hists, *l.Hist)
+			}
+		case "trace":
+			if l.Trace != nil {
+				r.Trace = append(r.Trace, *l.Trace)
+			}
+		default:
+			return nil, fmt.Errorf("obs: line %d: unknown line type %q", line, l.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawManifest {
+		return nil, fmt.Errorf("obs: artifact has no manifest line")
+	}
+	return r, nil
+}
+
+// ReadJSONLFile parses the artifact at path.
+func ReadJSONLFile(path string) (*Run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSONL(f)
+}
+
+// WriteCSV emits the series in long form (entity,metric,kind,time_us,
+// value), the flat-file cousin of the JSONL artifact for spreadsheet or
+// flexplot consumption.
+func (r *Run) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "entity,metric,kind,time_us,value"); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		for i, v := range s.Values {
+			t := sim.Time(s.StartPs + int64(i)*s.IntervalPs)
+			if _, err := fmt.Fprintf(bw, "%s,%s,%s,%.3f,%d\n",
+				s.Entity, s.Metric, s.Kind, t.Micros(), v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"flexpass/internal/sim"
+	"flexpass/internal/trace"
+)
+
+func TestNilRegistryNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("e", "m")
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter must stay zero")
+	}
+	r.CounterFunc("e", "m2", func() int64 { return 1 })
+	r.Gauge("e", "m3", func() int64 { return 2 })
+	h := r.Histogram("e", "m4")
+	h.Observe(10)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram must stay empty")
+	}
+	if r.Len() != 0 || r.Final() != nil {
+		t.Fatal("nil registry must be empty")
+	}
+	if p := NewProber(sim.NewEngine(1), r, nil); p != nil {
+		t.Fatal("prober over nil registry must be nil")
+	}
+	var p *Prober
+	p.Start()
+	p.Stop()
+	if p.Ticks() != 0 || p.Series() != nil || p.Find("e", "m") != nil {
+		t.Fatal("nil prober must no-op")
+	}
+}
+
+func TestRegistryDedup(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("port/x", "drops")
+	b := r.Counter("port/x", "drops")
+	if a != b {
+		t.Fatal("Counter must be idempotent per entity/metric")
+	}
+	a.Add(3)
+	if r.Len() != 1 {
+		t.Fatalf("sources = %d, want 1", r.Len())
+	}
+	// Re-registering a func source replaces it in place.
+	r.Gauge("q", "bytes", func() int64 { return 1 })
+	r.Gauge("q", "bytes", func() int64 { return 2 })
+	if r.Len() != 2 {
+		t.Fatalf("sources = %d, want 2", r.Len())
+	}
+	fin := r.Final()
+	if len(fin) != 2 {
+		t.Fatalf("final = %d", len(fin))
+	}
+	// Final is sorted by entity then metric.
+	if fin[0].Entity != "port/x" || fin[0].Value != 3 {
+		t.Fatalf("final[0] = %+v", fin[0])
+	}
+	if fin[1].Entity != "q" || fin[1].Value != 2 {
+		t.Fatalf("final[1] = %+v (gauge re-registration should replace)", fin[1])
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t", "fct_us")
+	if h2 := r.Histogram("t", "fct_us"); h2 != h {
+		t.Fatal("Histogram must be idempotent")
+	}
+	for _, v := range []int64{0, 1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 1106 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if q := h.Quantile(0.0); q != 0 {
+		t.Fatalf("q0 = %d, want bucket 0", q)
+	}
+	if q := h.Quantile(1.0); q != 1024 {
+		t.Fatalf("q1 = %d, want 1024 (1000 < 2^10)", q)
+	}
+	if q := h.Quantile(0.5); q != 4 {
+		t.Fatalf("q50 = %d, want 4 (values 2,3 in bucket le=4)", q)
+	}
+}
+
+func TestProberDeltasAndInstants(t *testing.T) {
+	eng := sim.NewEngine(1)
+	reg := NewRegistry()
+	c := reg.Counter("port/a", "tx_bytes")
+	var depth int64
+	reg.Gauge("port/a/q0", "bytes", func() int64 { return depth })
+
+	// Grow the counter by 100 per 10us, offset from the probe instants so
+	// every 20us window holds exactly two adds regardless of tie-breaks.
+	for i := 0; i < 10; i++ {
+		eng.At(sim.Time(5+10*i)*sim.Microsecond, func() { c.Add(100); depth += 7 })
+	}
+
+	p := NewProber(eng, reg, &Options{ProbeInterval: 20 * sim.Microsecond})
+	p.Start()
+	eng.Run(100 * sim.Microsecond)
+
+	if p.Ticks() != 5 {
+		t.Fatalf("ticks = %d, want 5", p.Ticks())
+	}
+	d := p.Find("port/a", "tx_bytes")
+	if d == nil || d.Kind != Cumulative {
+		t.Fatalf("missing delta series: %+v", d)
+	}
+	for i, v := range d.Values() {
+		if v != 200 {
+			t.Fatalf("delta[%d] = %d, want 200", i, v)
+		}
+	}
+	g := p.Find("port/a/q0", "bytes")
+	if g == nil || g.Kind != Instant {
+		t.Fatalf("missing instant series: %+v", g)
+	}
+	if got := g.Values(); got[0] != 14 || got[4] != 70 {
+		t.Fatalf("instants = %v", got)
+	}
+	if g.Start() != 20*sim.Microsecond {
+		t.Fatalf("start = %v", g.Start())
+	}
+}
+
+func TestSeriesRingWrap(t *testing.T) {
+	eng := sim.NewEngine(1)
+	reg := NewRegistry()
+	var v int64
+	reg.Gauge("g", "v", func() int64 { v++; return v })
+	p := NewProber(eng, reg, &Options{ProbeInterval: sim.Microsecond, SeriesCap: 4})
+	p.Start()
+	eng.Run(10 * sim.Microsecond)
+
+	s := p.Find("g", "v")
+	if got := s.Values(); !reflect.DeepEqual(got, []int64{7, 8, 9, 10}) {
+		t.Fatalf("values = %v", got)
+	}
+	if s.Dropped() != 6 {
+		t.Fatalf("dropped = %d", s.Dropped())
+	}
+	// First retained sample was taken at tick 7 (7us).
+	if s.Start() != 7*sim.Microsecond {
+		t.Fatalf("start = %v", s.Start())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	eng := sim.NewEngine(42)
+	reg := NewRegistry()
+	c := reg.Counter("transport/flexpass", "credits_wasted")
+	reg.Gauge("switch/s0", "shared_buffer_bytes", func() int64 { return 123 })
+	h := reg.Histogram("transport/flexpass", "fct_us")
+	h.Observe(50)
+	h.Observe(900)
+	ring := trace.NewRing(eng, 16)
+	eng.Every(10*sim.Microsecond, func() { c.Add(3) })
+	eng.At(25*sim.Microsecond, func() { ring.Add(trace.CreditWaste, 7, 2, "no data") })
+	p := NewProber(eng, reg, &Options{ProbeInterval: 10 * sim.Microsecond})
+	p.Start()
+	eng.Run(50 * sim.Microsecond)
+
+	run := Collect(reg, p, Manifest{
+		Seed: 42, Topology: "single-switch hosts=3", Scheme: "flexpass",
+		Workload: "websearch", Load: 0.6, Deployment: 0.5, WQ: 0.25,
+		DurationPs: int64(50 * sim.Microsecond),
+		Config:     map[string]string{"link_rate": "40Gbps"},
+		WallMS:     1.5, Events: eng.Processed, EventsPerSec: 1e6,
+	})
+	run.AttachTrace(ring)
+
+	if run.Manifest.Schema != SchemaVersion {
+		t.Fatalf("schema = %d", run.Manifest.Schema)
+	}
+	if len(run.Series) != 2 || len(run.Counters) != 2 || len(run.Hists) != 1 || len(run.Trace) != 1 {
+		t.Fatalf("shape: %d series %d counters %d hists %d trace",
+			len(run.Series), len(run.Counters), len(run.Hists), len(run.Trace))
+	}
+
+	var buf bytes.Buffer
+	if err := run.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), `{"type":"manifest"`) {
+		t.Fatalf("first line must be the manifest: %q", buf.String()[:40])
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, run) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, run)
+	}
+
+	// Spot-check semantic content survived.
+	s := got.FindSeries("transport/flexpass", "credits_wasted")
+	if s == nil || s.Kind != "delta" || len(s.Values) != 5 || s.Values[0] != 3 {
+		t.Fatalf("credit series: %+v", s)
+	}
+	if got.Trace[0].Kind != "credit-waste" || got.Trace[0].AtPs != int64(25*sim.Microsecond) {
+		t.Fatalf("trace: %+v", got.Trace[0])
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("")); err == nil {
+		t.Fatal("empty artifact must fail (no manifest)")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"type":"wat"}`)); err == nil {
+		t.Fatal("unknown line type must fail")
+	}
+	if _, err := ReadJSONL(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage must fail")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	run := &Run{
+		Series: []SeriesData{{
+			Entity: "port/a", Metric: "tx_bytes", Kind: "delta",
+			IntervalPs: int64(10 * sim.Microsecond),
+			StartPs:    int64(10 * sim.Microsecond),
+			Values:     []int64{100, 200},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := run.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "entity,metric,kind,time_us,value\nport/a,tx_bytes,delta,10.000,100\nport/a,tx_bytes,delta,20.000,200\n"
+	if buf.String() != want {
+		t.Fatalf("csv:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"testing"
+	"time"
 )
 
 // BenchmarkEventChurn measures raw scheduler throughput with a working
@@ -19,11 +20,16 @@ func BenchmarkEventChurn(b *testing.B) {
 		e.After(Time(i)*Nanosecond, tick)
 	}
 	b.ResetTimer()
+	wall := time.Now()
 	target := uint64(b.N)
 	for e.Processed < target {
 		e.Run(e.Now() + Millisecond)
 	}
+	elapsed := time.Since(wall).Seconds()
 	b.ReportMetric(float64(e.Processed), "events")
+	if elapsed > 0 {
+		b.ReportMetric(float64(e.Processed)/elapsed, "events/sec")
+	}
 }
 
 func BenchmarkTimerStop(b *testing.B) {

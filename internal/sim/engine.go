@@ -144,6 +144,47 @@ func (e *Engine) After(d Time, fn func()) *Timer {
 // Stop makes Run return after the currently dispatching event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Ticker is a handle to a periodic event created with Every.
+type Ticker struct {
+	eng     *Engine
+	period  Time
+	fn      func()
+	stopped bool
+}
+
+// Every schedules fn to run repeatedly, every period, starting one period
+// from now. It is the engine's hook for periodic observers (telemetry
+// probes, samplers): the callback runs between same-instant events without
+// perturbing their relative order, so a read-only fn never changes
+// simulation results. Period must be positive.
+func (e *Engine) Every(period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: Every period must be positive, got %v", period))
+	}
+	t := &Ticker{eng: e, period: period, fn: fn}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.eng.After(t.period, t.tick)
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	t.schedule()
+}
+
+// Stop cancels the ticker; the callback will not fire again.
+func (t *Ticker) Stop() {
+	if t != nil {
+		t.stopped = true
+	}
+}
+
 // Run dispatches events in timestamp order until the queue empties, the
 // clock passes until, or Stop is called. Events scheduled exactly at until
 // still run.

@@ -237,3 +237,48 @@ func TestNilTimerStop(t *testing.T) {
 		t.Fatal("nil timer Stop must be false")
 	}
 }
+
+func TestEveryTicks(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	e.Every(10*Microsecond, func() { fired = append(fired, e.Now()) })
+	e.Run(35 * Microsecond)
+	if len(fired) != 3 {
+		t.Fatalf("ticks = %d, want 3", len(fired))
+	}
+	for i, at := range fired {
+		if want := Time(i+1) * 10 * Microsecond; at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestEveryStop(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	var tk *Ticker
+	tk = e.Every(10*Microsecond, func() {
+		n++
+		if n == 2 {
+			tk.Stop()
+		}
+	})
+	e.Run(Second)
+	if n != 2 {
+		t.Fatalf("ticks after Stop = %d, want 2", n)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("stopped ticker left %d events queued", e.Pending())
+	}
+	var nilTk *Ticker
+	nilTk.Stop() // must not panic
+}
+
+func TestEveryBadPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) must panic")
+		}
+	}()
+	NewEngine(1).Every(0, func() {})
+}

@@ -69,6 +69,54 @@ func TestFilterAndDump(t *testing.T) {
 	}
 }
 
+func TestFilterAfterWrap(t *testing.T) {
+	r := NewRing(nil, 4)
+	// 10 alternating events; the ring keeps flows 6..9 (drop, mark, drop,
+	// mark). Filter must see only surviving events, in chronological order.
+	for i := 0; i < 10; i++ {
+		kind := Drop
+		if i%2 == 1 {
+			kind = Mark
+		}
+		r.Add(kind, uint64(i), 0, "")
+	}
+	drops := r.Filter(func(e Event) bool { return e.Kind == Drop })
+	if len(drops) != 2 || drops[0].Flow != 6 || drops[1].Flow != 8 {
+		t.Fatalf("post-wrap drops wrong: %+v", drops)
+	}
+	marks := r.Filter(func(e Event) bool { return e.Kind == Mark })
+	if len(marks) != 2 || marks[0].Flow != 7 || marks[1].Flow != 9 {
+		t.Fatalf("post-wrap marks wrong: %+v", marks)
+	}
+}
+
+func TestOverwrittenCounts(t *testing.T) {
+	r := NewRing(nil, 3)
+	for i := 0; i < 3; i++ {
+		r.Add(Drop, uint64(i), 0, "")
+	}
+	if r.Overwritten() != 0 {
+		t.Fatalf("overwritten before wrap = %d, want 0", r.Overwritten())
+	}
+	r.Add(Drop, 3, 0, "")
+	if r.Overwritten() != 1 {
+		t.Fatalf("overwritten after one displacement = %d, want 1", r.Overwritten())
+	}
+	for i := 4; i < 10; i++ {
+		r.Add(Drop, uint64(i), 0, "")
+	}
+	if r.Overwritten() != 7 {
+		t.Fatalf("overwritten = %d, want 7", r.Overwritten())
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want capacity 3", r.Len())
+	}
+	evs := r.Events()
+	if evs[0].Flow != 7 || evs[2].Flow != 9 {
+		t.Fatalf("survivors wrong: %d..%d", evs[0].Flow, evs[2].Flow)
+	}
+}
+
 func TestKindNames(t *testing.T) {
 	if FlowStart.String() != "flow-start" || Custom.String() != "custom" {
 		t.Fatal("kind names wrong")

@@ -1,0 +1,42 @@
+package transport
+
+import "flexpass/internal/obs"
+
+// Counters aggregates a transport's event counts into the obs registry
+// under "transport/<name>". Every field is a nil-safe *obs.Counter, so
+// the zero Counters value (telemetry off) makes all increments free —
+// transport configs embed it by value and call through unconditionally.
+//
+// The prober samples the counters as per-interval deltas, which yields
+// the per-transport throughput and credit-waste time series the paper's
+// transition plots (Fig. 6/7) are built from; FCT is recorded into a
+// log-bucket histogram at completion.
+type Counters struct {
+	Started        *obs.Counter // flows started
+	Completed      *obs.Counter // flows completed
+	RxBytes        *obs.Counter // payload bytes delivered in order
+	Timeouts       *obs.Counter // RTO / recovery-timer firings
+	Retransmits    *obs.Counter // segments retransmitted
+	CreditsGranted *obs.Counter // credits/tokens/grants received by senders
+	CreditsWasted  *obs.Counter // credits that arrived with nothing to send
+	FCT            *obs.Histogram // flow completion times, microseconds
+}
+
+// NewCounters registers the standard counter set for transport name.
+// With a nil registry it returns the zero value, whose increments no-op.
+func NewCounters(reg *obs.Registry, name string) Counters {
+	if reg == nil {
+		return Counters{}
+	}
+	ent := "transport/" + name
+	return Counters{
+		Started:        reg.Counter(ent, "flows_started"),
+		Completed:      reg.Counter(ent, "flows_completed"),
+		RxBytes:        reg.Counter(ent, "rx_bytes"),
+		Timeouts:       reg.Counter(ent, "timeouts"),
+		Retransmits:    reg.Counter(ent, "retransmits"),
+		CreditsGranted: reg.Counter(ent, "credits_granted"),
+		CreditsWasted:  reg.Counter(ent, "credits_wasted"),
+		FCT:            reg.Histogram(ent, "fct_us"),
+	}
+}

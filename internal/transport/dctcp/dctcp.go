@@ -3,6 +3,7 @@ package dctcp
 import (
 	"flexpass/internal/netem"
 	"flexpass/internal/sim"
+	"flexpass/internal/trace"
 	"flexpass/internal/transport"
 )
 
@@ -19,6 +20,11 @@ type Config struct {
 	MinRTO    sim.Time
 	// DupThresh is the duplicate-ACK / SACK reordering threshold.
 	DupThresh int
+
+	// Trace, when non-nil, records lifecycle/retransmit/timeout events.
+	Trace *trace.Ring
+	// Stats aggregates transport-wide counters (zero value no-ops).
+	Stats transport.Counters
 }
 
 // LegacyConfig returns the paper's legacy-traffic configuration: data and
@@ -118,6 +124,8 @@ func (s *Sender) transmit(seq int, retx bool) {
 	s.inflight++
 	if retx {
 		s.flow.Retransmits++
+		s.cfg.Stats.Retransmits.Inc()
+		s.cfg.Trace.Add(trace.Retransmit, s.flow.ID, int64(seq), "")
 	}
 	pkt := &netem.Packet{
 		Kind:       s.cfg.DataKind,
@@ -180,6 +188,8 @@ func (s *Sender) onTimeout() {
 		return
 	}
 	s.flow.Timeouts++
+	s.cfg.Stats.Timeouts.Inc()
+	s.cfg.Trace.Add(trace.Timeout, s.flow.ID, int64(s.cumAck), "rto")
 	s.rtoBackoff++
 	s.win.OnTimeout()
 	s.dupAcks = 0
@@ -302,6 +312,7 @@ func (r *Receiver) Handle(pkt *netem.Packet) {
 		r.got[seq] = true
 		r.received++
 		r.flow.RxBytes += int64(r.flow.SegPayload(seq))
+		r.cfg.Stats.RxBytes.Add(int64(r.flow.SegPayload(seq)))
 		for r.cum < len(r.got) && r.got[r.cum] {
 			r.cum++
 		}
@@ -320,8 +331,11 @@ func (r *Receiver) Handle(pkt *netem.Packet) {
 		SentAt: pkt.SentAt,
 	}
 	r.flow.Dst.Host.Send(ack)
-	if r.received >= r.flow.Segs() {
+	if r.received >= r.flow.Segs() && !r.flow.Completed {
 		r.flow.Complete(r.eng.Now())
+		r.cfg.Stats.Completed.Inc()
+		r.cfg.Stats.FCT.Observe(int64(r.flow.FCT() / sim.Microsecond))
+		r.cfg.Trace.Add(trace.FlowDone, r.flow.ID, int64(r.flow.FCT()/sim.Microsecond), "fct_us")
 	}
 }
 
@@ -332,6 +346,8 @@ func Start(eng *sim.Engine, flow *transport.Flow, cfg Config) (*Sender, *Receive
 	r := NewReceiver(eng, flow, cfg)
 	flow.Src.Register(flow.ID, s)
 	flow.Dst.Register(flow.ID, r)
+	cfg.Stats.Started.Inc()
+	cfg.Trace.Add(trace.FlowStart, flow.ID, flow.Size, "dctcp")
 	s.Begin()
 	return s, r
 }

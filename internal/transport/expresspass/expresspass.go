@@ -3,6 +3,7 @@ package expresspass
 import (
 	"flexpass/internal/netem"
 	"flexpass/internal/sim"
+	"flexpass/internal/trace"
 	"flexpass/internal/transport"
 	"flexpass/internal/transport/dctcp"
 )
@@ -25,6 +26,11 @@ type Config struct {
 
 	// MinRTO is the credit re-request recovery timer.
 	MinRTO sim.Time
+
+	// Trace, when non-nil, records lifecycle/retransmit/timeout/waste events.
+	Trace *trace.Ring
+	// Stats aggregates transport-wide counters (zero value no-ops).
+	Stats transport.Counters
 }
 
 // DefaultConfig returns the paper's ExpressPass setup for a flow whose
@@ -144,6 +150,8 @@ func (s *Sender) checkRecovery() {
 // the credit request (or the whole credit stream) was lost. Re-request.
 func (s *Sender) onRecoveryTimeout() {
 	s.flow.Timeouts++
+	s.cfg.Stats.Timeouts.Inc()
+	s.cfg.Trace.Add(trace.Timeout, s.flow.ID, int64(s.cumAck), "re-request")
 	s.recoverBackoff++
 	s.sendRequest()
 	s.armRecovery()
@@ -190,6 +198,8 @@ func (s *Sender) transmit(seq int, retx bool, echo uint32) {
 	s.inflight++
 	if retx {
 		s.flow.Retransmits++
+		s.cfg.Stats.Retransmits.Inc()
+		s.cfg.Trace.Add(trace.Retransmit, s.flow.ID, int64(seq), "")
 	}
 	s.flow.Src.Host.Send(&netem.Packet{
 		Kind:       netem.KindProData,
@@ -214,13 +224,18 @@ func (s *Sender) Handle(pkt *netem.Packet) {
 			return
 		}
 		s.flow.CreditsGranted++
+		s.cfg.Stats.CreditsGranted.Inc()
 		if s.cfg.Layered && float64(s.inflight) >= s.win.Cwnd {
 			s.flow.CreditsWasted++
+			s.cfg.Stats.CreditsWasted.Inc()
+			s.cfg.Trace.Add(trace.CreditWaste, s.flow.ID, int64(s.cumAck), "window full")
 			return
 		}
 		seq, retx := s.pick()
 		if seq < 0 {
 			s.flow.CreditsWasted++
+			s.cfg.Stats.CreditsWasted.Inc()
+			s.cfg.Trace.Add(trace.CreditWaste, s.flow.ID, int64(s.cumAck), "no data")
 			return
 		}
 		s.transmit(seq, retx, pkt.SubSeq)
@@ -323,6 +338,7 @@ func (r *Receiver) Handle(pkt *netem.Packet) {
 			r.got[seq] = true
 			r.received++
 			r.flow.RxBytes += int64(r.flow.SegPayload(seq))
+			r.cfg.Stats.RxBytes.Add(int64(r.flow.SegPayload(seq)))
 			for r.cum < len(r.got) && r.got[r.cum] {
 				r.cum++
 			}
@@ -340,9 +356,12 @@ func (r *Receiver) Handle(pkt *netem.Packet) {
 			Size:   netem.AckSize,
 			SentAt: pkt.SentAt,
 		})
-		if r.received >= r.flow.Segs() {
+		if r.received >= r.flow.Segs() && !r.flow.Completed {
 			r.pacer.Stop()
 			r.flow.Complete(r.eng.Now())
+			r.cfg.Stats.Completed.Inc()
+			r.cfg.Stats.FCT.Observe(int64(r.flow.FCT() / sim.Microsecond))
+			r.cfg.Trace.Add(trace.FlowDone, r.flow.ID, int64(r.flow.FCT()/sim.Microsecond), "fct_us")
 		}
 	}
 }
@@ -353,6 +372,8 @@ func Start(eng *sim.Engine, flow *transport.Flow, cfg Config) (*Sender, *Receive
 	r := NewReceiver(eng, flow, cfg)
 	flow.Src.Register(flow.ID, s)
 	flow.Dst.Register(flow.ID, r)
+	cfg.Stats.Started.Inc()
+	cfg.Trace.Add(trace.FlowStart, flow.ID, flow.Size, "expresspass")
 	s.Begin()
 	return s, r
 }

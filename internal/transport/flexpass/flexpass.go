@@ -75,6 +75,9 @@ type Config struct {
 	// Trace, when non-nil, records retransmission and timeout decisions.
 	Trace *trace.Ring
 
+	// Stats aggregates transport-wide counters (zero value no-ops).
+	Stats transport.Counters
+
 	// Reactive selects the reactive sub-flow's congestion control
 	// (default DCTCP; see reactive.go for the §4.3 extension point).
 	Reactive ReactiveCC
@@ -235,6 +238,7 @@ func (s *Sender) checkRecovery() {
 // proactive recovery.
 func (s *Sender) onRecoveryTimeout() {
 	s.flow.Timeouts++
+	s.cfg.Stats.Timeouts.Inc()
 	s.recoverBackoff++
 	s.cfg.Trace.Add(trace.Timeout, s.flow.ID, int64(s.ackedCount), "recovery timer fired")
 	s.sendCreditRequest()
@@ -458,6 +462,7 @@ func (s *Sender) sendProactive(seg int, echo uint32, proRetx, retx bool) {
 	}
 	if retx {
 		s.flow.Retransmits++
+		s.cfg.Stats.Retransmits.Inc()
 	}
 	s.flow.Src.Host.Send(&netem.Packet{
 		Kind:   netem.KindProData,
@@ -481,10 +486,13 @@ func (s *Sender) Handle(pkt *netem.Packet) {
 			return
 		}
 		s.flow.CreditsGranted++
+		s.cfg.Stats.CreditsGranted.Inc()
 		s.rackDetect()
 		seg, proRetx, retx := s.pickProactive()
 		if seg < 0 {
 			s.flow.CreditsWasted++
+			s.cfg.Stats.CreditsWasted.Inc()
+			s.cfg.Trace.Add(trace.CreditWaste, s.flow.ID, int64(s.ackedCount), "no data")
 			return
 		}
 		s.sendProactive(seg, pkt.SubSeq, proRetx, retx)
@@ -724,6 +732,7 @@ func (r *Receiver) absorb(pkt *netem.Packet, proactive bool) {
 	payload := int64(r.flow.SegPayload(seq))
 	r.receivedB += payload
 	r.flow.RxBytes += payload
+	r.cfg.Stats.RxBytes.Add(payload)
 	if proactive {
 		r.flow.RxBytesPro += payload
 	} else {
@@ -756,6 +765,9 @@ func (r *Receiver) checkComplete() {
 	if r.received >= r.flow.Segs() && !r.flow.Completed {
 		r.pacer.Stop()
 		r.flow.Complete(r.eng.Now())
+		r.cfg.Stats.Completed.Inc()
+		r.cfg.Stats.FCT.Observe(int64(r.flow.FCT() / sim.Microsecond))
+		r.cfg.Trace.Add(trace.FlowDone, r.flow.ID, int64(r.flow.FCT()/sim.Microsecond), "fct_us")
 	}
 }
 
@@ -765,6 +777,8 @@ func Start(eng *sim.Engine, flow *transport.Flow, cfg Config) (*Sender, *Receive
 	r := NewReceiver(eng, flow, cfg)
 	flow.Src.Register(flow.ID, s)
 	flow.Dst.Register(flow.ID, r)
+	cfg.Stats.Started.Inc()
+	cfg.Trace.Add(trace.FlowStart, flow.ID, flow.Size, "flexpass")
 	s.Begin()
 	return s, r
 }

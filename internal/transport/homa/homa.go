@@ -15,6 +15,7 @@ package homa
 import (
 	"flexpass/internal/netem"
 	"flexpass/internal/sim"
+	"flexpass/internal/trace"
 	"flexpass/internal/transport"
 	"flexpass/internal/units"
 )
@@ -37,6 +38,11 @@ type Config struct {
 	SchedClass netem.Class
 	// GrantClass is the priority queue of grant packets.
 	GrantClass netem.Class
+
+	// Trace, when non-nil, records flow lifecycle events.
+	Trace *trace.Ring
+	// Stats aggregates transport-wide counters (zero value no-ops).
+	Stats transport.Counters
 }
 
 // DefaultConfig returns the Fig 1(b) setup for the given bottleneck rate.
@@ -139,9 +145,13 @@ func (r *Receiver) Handle(pkt *netem.Packet) {
 	}
 	r.received++
 	r.flow.RxBytes += int64(r.flow.SegPayload(int(pkt.Seq)))
+	r.cfg.Stats.RxBytes.Add(int64(r.flow.SegPayload(int(pkt.Seq))))
 	if r.received >= r.flow.Segs() {
 		r.stop()
 		r.flow.Complete(r.eng.Now())
+		r.cfg.Stats.Completed.Inc()
+		r.cfg.Stats.FCT.Observe(int64(r.flow.FCT() / sim.Microsecond))
+		r.cfg.Trace.Add(trace.FlowDone, r.flow.ID, int64(r.flow.FCT()/sim.Microsecond), "fct_us")
 		return
 	}
 	if !r.granting {
@@ -184,6 +194,8 @@ func Start(eng *sim.Engine, flow *transport.Flow, cfg Config) (*Sender, *Receive
 	r := NewReceiver(eng, flow, cfg)
 	flow.Src.Register(flow.ID, s)
 	flow.Dst.Register(flow.ID, r)
+	cfg.Stats.Started.Inc()
+	cfg.Trace.Add(trace.FlowStart, flow.ID, flow.Size, "homa")
 	s.Begin()
 	return s, r
 }

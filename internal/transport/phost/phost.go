@@ -16,6 +16,7 @@ package phost
 import (
 	"flexpass/internal/netem"
 	"flexpass/internal/sim"
+	"flexpass/internal/trace"
 	"flexpass/internal/transport"
 	"flexpass/internal/units"
 )
@@ -36,6 +37,11 @@ type Config struct {
 	TokenTimeout sim.Time
 	// MinRTO is the recovery timer.
 	MinRTO sim.Time
+
+	// Trace, when non-nil, records lifecycle/retransmit/timeout/waste events.
+	Trace *trace.Ring
+	// Stats aggregates transport-wide counters (zero value no-ops).
+	Stats transport.Counters
 }
 
 // DefaultConfig returns a reasonable setup for the given fabric.
@@ -215,6 +221,8 @@ func (s *Sender) transmit(seq int, retx bool) {
 	s.state[seq] = segSent
 	if retx {
 		s.flow.Retransmits++
+		s.cfg.Stats.Retransmits.Inc()
+		s.cfg.Trace.Add(trace.Retransmit, s.flow.ID, int64(seq), "")
 	}
 	s.flow.Src.Host.Send(&netem.Packet{
 		Kind:   netem.KindProData,
@@ -253,6 +261,8 @@ func (s *Sender) checkRecovery() {
 		return
 	}
 	s.flow.Timeouts++
+	s.cfg.Stats.Timeouts.Inc()
+	s.cfg.Trace.Add(trace.Timeout, s.flow.ID, int64(s.cumAck), "re-announce")
 	s.recoverBackoff++
 	// Re-announce with the oldest unacked segment.
 	for s.oldest < len(s.state) && s.state[s.oldest] == segAcked {
@@ -302,9 +312,12 @@ func (s *Sender) Handle(pkt *netem.Packet) {
 			return
 		}
 		s.flow.CreditsGranted++
+		s.cfg.Stats.CreditsGranted.Inc()
 		seq, retx := s.pick()
 		if seq < 0 {
 			s.flow.CreditsWasted++
+			s.cfg.Stats.CreditsWasted.Inc()
+			s.cfg.Trace.Add(trace.CreditWaste, s.flow.ID, int64(s.cumAck), "no data")
 			return
 		}
 		s.transmit(seq, retx)
@@ -423,6 +436,7 @@ func (r *Receiver) Handle(pkt *netem.Packet) {
 		r.got[seq] = true
 		r.received++
 		r.flow.RxBytes += int64(r.flow.SegPayload(seq))
+		r.cfg.Stats.RxBytes.Add(int64(r.flow.SegPayload(seq)))
 		for r.cum < len(r.got) && r.got[r.cum] {
 			r.cum++
 		}
@@ -439,8 +453,11 @@ func (r *Receiver) Handle(pkt *netem.Packet) {
 		Size:   netem.AckSize,
 		SentAt: pkt.SentAt,
 	})
-	if r.received >= r.flow.Segs() {
+	if r.received >= r.flow.Segs() && !r.flow.Completed {
 		r.flow.Complete(r.eng.Now())
+		r.cfg.Stats.Completed.Inc()
+		r.cfg.Stats.FCT.Observe(int64(r.flow.FCT() / sim.Microsecond))
+		r.cfg.Trace.Add(trace.FlowDone, r.flow.ID, int64(r.flow.FCT()/sim.Microsecond), "fct_us")
 		return
 	}
 	r.arbiter.wake()
@@ -453,6 +470,8 @@ func Start(eng *sim.Engine, flow *transport.Flow, arb *Arbiter, cfg Config) (*Se
 	r := NewReceiver(eng, flow, arb, cfg)
 	flow.Src.Register(flow.ID, s)
 	flow.Dst.Register(flow.ID, r)
+	cfg.Stats.Started.Inc()
+	cfg.Trace.Add(trace.FlowStart, flow.ID, flow.Size, "phost")
 	s.Begin()
 	return s, r
 }
