@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-sim clean
+.PHONY: all build vet test race check bench bench-sim forensics-demo clean
 
 all: check
 
@@ -30,5 +30,13 @@ bench:
 bench-sim:
 	$(GO) test -bench . -benchtime 2s -run '^$$' ./internal/sim/
 
+# Observation-only flow forensics on an incast run: records hop-by-hop
+# packet events, runs the invariant auditors (credit conservation,
+# shared-buffer accounting, starvation — a healthy run reports zero
+# violations), and renders the worst-slowdown flow timelines.
+forensics-demo:
+	$(GO) run ./cmd/flexsim -incast 0.1 -duration 2 -forensics-out forensics.jsonl
+	$(GO) run ./cmd/flexplot timeline forensics.jsonl
+
 clean:
-	rm -f cpu.prof mem.prof run.jsonl
+	rm -f cpu.prof mem.prof run.jsonl forensics.jsonl

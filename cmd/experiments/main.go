@@ -13,9 +13,11 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
+	"flexpass/internal/forensics"
 	"flexpass/internal/harness"
 	"flexpass/internal/obs"
 	"flexpass/internal/sim"
@@ -31,6 +33,8 @@ var (
 	durMS     = flag.Float64("dur", 0, "override flow arrival window (milliseconds)")
 	telOut    = flag.String("telemetry-out", "", "run the base scenario instrumented and write its JSONL run artifact here (skips the figure sweeps)")
 	traceRing = flag.Int("trace-ring", 0, "transport trace ring capacity for -telemetry-out runs")
+	forOut    = flag.String("forensics-out", "", "run the base scenario with the forensic plane and write its artifact here (skips the figure sweeps)")
+	traceFlow = flag.String("trace-flow", "", "comma-separated flow IDs whose timelines are always exported on -forensics-out runs")
 	pprofOut  = flag.String("pprof", "", "write a CPU profile of the experiment run to this file")
 )
 
@@ -73,22 +77,51 @@ func main() {
 		}()
 	}
 
-	if *telOut != "" {
+	if *telOut != "" || *forOut != "" {
 		// One instrumented base-scenario run instead of the figure sweeps:
 		// the artifact is for inspecting a single simulation in depth.
 		sc := base
 		sc.SampleQueues = true
 		sc.Telemetry = &obs.Options{TraceCap: *traceRing}
+		if *forOut != "" {
+			fo := &forensics.Options{}
+			for _, s := range strings.Split(*traceFlow, ",") {
+				if s = strings.TrimSpace(s); s == "" {
+					continue
+				}
+				id, err := strconv.ParseUint(s, 10, 64)
+				if err != nil {
+					fatal(fmt.Errorf("bad -trace-flow id %q: %v", s, err))
+				}
+				fo.Flows = append(fo.Flows, id)
+			}
+			sc.Forensics = fo
+		}
 		res := harness.Run(sc)
 		if res.Telemetry == nil {
 			fatal(fmt.Errorf("telemetry run produced no artifact"))
 		}
-		if err := res.Telemetry.WriteJSONLFile(*telOut); err != nil {
+		out := *telOut
+		if out == "" {
+			out = *forOut
+		}
+		if err := res.Telemetry.WriteJSONLFile(out); err != nil {
 			fatal(err)
 		}
+		if *forOut != "" && *forOut != out {
+			if err := res.Telemetry.WriteJSONLFile(*forOut); err != nil {
+				fatal(err)
+			}
+		}
 		fmt.Printf("telemetry artifact written to %s (%d series, %d counters, %d trace events, %.0f events/sec)\n",
-			*telOut, len(res.Telemetry.Series), len(res.Telemetry.Counters),
+			out, len(res.Telemetry.Series), len(res.Telemetry.Counters),
 			len(res.Telemetry.Trace), res.Telemetry.Manifest.EventsPerSec)
+		if rep := res.Forensics; rep != nil {
+			fmt.Printf("forensics: %d violations, %d timelines\n", len(rep.Violations), len(rep.Timelines))
+			for _, v := range rep.Violations {
+				fmt.Println("VIOLATION", v)
+			}
+		}
 		return
 	}
 

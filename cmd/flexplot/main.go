@@ -7,18 +7,23 @@
 //	flexplot run.jsonl                      # list available telemetry series
 //	flexplot -y bytes -entity 'port/tor0:up0/q1' run.jsonl
 //	flexplot -y tx_bytes -rate run.jsonl    # delta series as bytes/sec
+//	flexplot timeline run.jsonl             # list forensic timelines + violations
+//	flexplot timeline -flow 42 run.jsonl    # one flow's hop-by-hop journey
 package main
 
 import (
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"flexpass/internal/obs"
 	"flexpass/internal/plot"
+	"flexpass/internal/sim"
 )
 
 var (
@@ -33,9 +38,14 @@ var (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "timeline" {
+		timelineCmd(os.Args[2:])
+		return
+	}
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: flexplot [flags] <file.csv|run.jsonl>")
+		fmt.Fprintln(os.Stderr, "       flexplot timeline [-flow <id>] <run.jsonl>")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -194,6 +204,131 @@ func plotArtifact(path string) {
 	}
 	if err := ch.Render(os.Stdout); err != nil {
 		fatal(err)
+	}
+}
+
+// timelineCmd renders the forensics lines of a run artifact (written by
+// flexsim -forensics-out): without -flow it lists violations and the
+// exported timelines; with -flow it prints that flow's hop-by-hop
+// journey merged chronologically with its transport lifecycle events.
+func timelineCmd(args []string) {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	flow := fs.Uint64("flow", 0, "flow ID to render (0 lists available timelines)")
+	maxHops := fs.Int("hops", 48, "cap on printed hop records (0 = all)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: flexplot timeline [-flow <id>] [-hops <n>] <run.jsonl>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	run, err := obs.ReadJSONLFile(fs.Arg(0))
+	if err != nil {
+		var corrupt *obs.CorruptArtifactError
+		if run == nil || !errors.As(err, &corrupt) {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "flexplot: warning: %v — rendering the salvaged prefix\n", err)
+	}
+	if len(run.Forensics) == 0 {
+		fatal(fmt.Errorf("%s has no forensics lines (produce one with flexsim -forensics-out)", fs.Arg(0)))
+	}
+
+	if vs := run.Violations(); len(vs) > 0 {
+		fmt.Printf("%d invariant violations:\n", len(vs))
+		for _, v := range vs {
+			line := fmt.Sprintf("  %12v [%s]", sim.Time(v.AtPs), v.Auditor)
+			if v.Entity != "" {
+				line += " " + v.Entity
+			}
+			if v.Flow != 0 {
+				line += fmt.Sprintf(" flow=%d", v.Flow)
+			}
+			fmt.Println(line + ": " + v.Detail)
+		}
+		fmt.Println()
+	}
+
+	if *flow == 0 {
+		tls := run.Timelines()
+		fmt.Printf("%d flow timelines (render one with -flow <id>):\n", len(tls))
+		fmt.Printf("  %-10s %-10s %10s %12s %9s %6s %7s\n",
+			"flow", "transport", "size", "fct", "slowdown", "hops", "events")
+		for _, t := range tls {
+			fct := "incomplete"
+			if t.FctPs >= 0 {
+				fct = sim.Time(t.FctPs).String()
+			}
+			fmt.Printf("  %-10d %-10s %9dB %12s %9.2f %6d %7d\n",
+				t.Flow, t.Transport, t.Size, fct, t.Slowdown, len(t.Hops), len(t.Events))
+		}
+		return
+	}
+
+	t := run.FindTimeline(*flow)
+	if t == nil {
+		fatal(fmt.Errorf("flow %d has no timeline in this artifact (flexsim -trace-flow %d forces one)", *flow, *flow))
+	}
+	fct := "incomplete"
+	if t.FctPs >= 0 {
+		fct = sim.Time(t.FctPs).String()
+	}
+	fmt.Printf("flow %d %s size=%dB start=%v fct=%s slowdown=%.2f\n",
+		t.Flow, t.Transport, t.Size, sim.Time(t.StartPs), fct, t.Slowdown)
+	if len(t.Delays) > 0 {
+		fmt.Println("per-hop queueing delay:")
+		for _, d := range t.Delays {
+			avg := int64(0)
+			if d.Dequeues > 0 {
+				avg = d.TotalWaitPs / d.Dequeues
+			}
+			fmt.Printf("  %-28s %5d pkts  avg %-10v max %-10v drops %d\n",
+				d.Port, d.Dequeues, sim.Time(avg), sim.Time(d.MaxWaitPs), d.Drops)
+		}
+	}
+
+	// Merge hop records and lifecycle events into one chronology.
+	type row struct {
+		at   int64
+		text string
+	}
+	var rows []row
+	for _, h := range t.Hops {
+		detail := ""
+		switch h.Event {
+		case "deq":
+			detail = fmt.Sprintf("waited %v, tx %v", sim.Time(h.WaitPs), sim.Time(h.TxPs))
+		case "enq":
+			detail = fmt.Sprintf("queue %dB", h.QueueBytes)
+		case "drop":
+			detail = "reason " + h.Reason
+		}
+		color := ""
+		if h.Color != "" && h.Color != "green" {
+			color = " " + h.Color
+		}
+		rows = append(rows, row{h.AtPs, fmt.Sprintf("%-4s %-24s q%-2d %-12s seq=%-6d%s %s",
+			h.Event, h.Port, h.Queue, h.Kind, h.Seq, color, detail)})
+	}
+	for _, ev := range t.Events {
+		rows = append(rows, row{ev.AtPs, fmt.Sprintf("◆    %-12s seq=%d %s", ev.Kind, ev.Seq, ev.Note)})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].at < rows[j].at })
+	skipped := 0
+	if *maxHops > 0 && len(rows) > *maxHops {
+		skipped = len(rows) - *maxHops
+		rows = rows[len(rows)-*maxHops:]
+	}
+	if t.HopsDropped > 0 || skipped > 0 {
+		fmt.Printf("timeline (%d older records elided; raise -hops or the HopCap):\n",
+			int64(skipped)+t.HopsDropped)
+	} else {
+		fmt.Println("timeline:")
+	}
+	for _, r := range rows {
+		fmt.Printf("  %12v  %s\n", sim.Time(r.at), r.text)
 	}
 }
 

@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
+	"flexpass/internal/forensics"
 	"flexpass/internal/harness"
 	"flexpass/internal/metrics"
 	"flexpass/internal/obs"
@@ -37,6 +39,8 @@ func main() {
 		traceOut   = flag.String("dump-trace", "", "write the generated workload as a CSV trace and exit")
 		telOut     = flag.String("telemetry-out", "", "write the run artifact (manifest, series, counters, trace) as JSONL — or CSV if the path ends in .csv")
 		traceRing  = flag.Int("trace-ring", 0, "capacity of the transport event trace ring (0 disables; dumped to stderr unless -telemetry-out captures it)")
+		forOut     = flag.String("forensics-out", "", "enable the forensic plane (hop recording, invariant auditors, worst-flow timelines) and write the run artifact as JSONL here")
+		traceFlow  = flag.String("trace-flow", "", "comma-separated flow IDs whose timelines are always exported (implies forensics)")
 		pprofOut   = flag.String("pprof", "", "write a CPU profile of the simulation to this file")
 	)
 	flag.Parse()
@@ -104,6 +108,21 @@ func main() {
 	if *telOut != "" || *traceRing > 0 {
 		sc.Telemetry = &obs.Options{TraceCap: *traceRing}
 	}
+	if *forOut != "" || *traceFlow != "" {
+		fo := &forensics.Options{}
+		for _, s := range strings.Split(*traceFlow, ",") {
+			if s = strings.TrimSpace(s); s == "" {
+				continue
+			}
+			id, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad -trace-flow id %q: %v\n", s, err)
+				os.Exit(1)
+			}
+			fo.Flows = append(fo.Flows, id)
+		}
+		sc.Forensics = fo
+	}
 	var profFile *os.File
 	if *pprofOut != "" {
 		f, err := os.Create(*pprofOut)
@@ -142,10 +161,30 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "telemetry written to %s (%d series, %d counters, %d trace events)\n",
 			*telOut, len(res.Telemetry.Series), len(res.Telemetry.Counters), len(res.Telemetry.Trace))
-	} else if res.Trace != nil && res.Trace.Len() > 0 {
+	} else if *traceRing > 0 && res.Trace != nil && res.Trace.Len() > 0 {
 		fmt.Fprintf(os.Stderr, "-- trace ring (%d events, %d overwritten) --\n",
 			res.Trace.Len(), res.Trace.Overwritten())
 		_ = res.Trace.Dump(os.Stderr)
+	}
+	if rep := res.Forensics; rep != nil {
+		if *forOut != "" {
+			if err := res.Telemetry.WriteJSONLFile(*forOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "forensics written to %s (%d violations, %d timelines)\n",
+				*forOut, len(rep.Violations), len(rep.Timelines))
+		}
+		for _, v := range rep.Violations {
+			fmt.Fprintln(os.Stderr, "VIOLATION", v)
+		}
+		if rep.ViolationsDropped > 0 {
+			fmt.Fprintf(os.Stderr, "(%d further violations dropped over the retention cap)\n", rep.ViolationsDropped)
+		}
+		fmt.Fprintln(os.Stderr, "-- worst-slowdown flow timelines --")
+		for _, tl := range rep.Timelines {
+			_ = tl.Dump(os.Stderr)
+		}
 	}
 
 	c := &res.Flows

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"time"
 
+	"flexpass/internal/forensics"
 	"flexpass/internal/metrics"
 	"flexpass/internal/netem"
 	"flexpass/internal/obs"
@@ -78,6 +79,14 @@ type Scenario struct {
 	// events to the heap.
 	Telemetry *obs.Options
 
+	// Forensics, when non-nil, enables the forensic plane on top of
+	// telemetry (which it switches on implicitly): hop-by-hop packet
+	// recording at every port, invariant auditors on the engine clock,
+	// and worst-slowdown flow timelines in Result.Forensics and the
+	// exported artifact. Like telemetry it is observation-only: flow
+	// results stay byte-identical to a plain run with the same seed.
+	Forensics *forensics.Options
+
 	// DisableProRetx ablates FlexPass's proactive retransmission (§4.2).
 	DisableProRetx bool
 
@@ -145,6 +154,10 @@ type Result struct {
 	// is set); Trace is the shared transport trace ring (when TraceCap>0).
 	Telemetry *obs.Run
 	Trace     *trace.Ring
+	// Forensics carries auditor findings and worst-flow timelines (when
+	// Scenario.Forensics is set). The same data rides in Telemetry's
+	// artifact as "forensics" lines.
+	Forensics *forensics.Report
 }
 
 // WorkloadRand returns the deterministic random stream Run uses for
@@ -166,12 +179,27 @@ func rackAssignment(c topo.ClosParams) []int {
 // Run executes the scenario and returns collected metrics.
 func Run(sc Scenario) *Result {
 	eng := sim.NewEngine(sc.Seed)
+	// Forensics implies telemetry: timelines need the registry and a
+	// lifecycle trace ring. Copy the options so the caller's struct is
+	// never mutated.
+	tel := sc.Telemetry
+	if sc.Forensics != nil {
+		if tel == nil {
+			tel = &obs.Options{}
+		} else {
+			cp := *tel
+			tel = &cp
+		}
+		if tel.TraceCap == 0 {
+			tel.TraceCap = 65536
+		}
+	}
 	var reg *obs.Registry
 	var ring *trace.Ring
-	if sc.Telemetry != nil {
+	if tel != nil {
 		reg = obs.NewRegistry()
-		if sc.Telemetry.TraceCap > 0 {
-			ring = trace.NewRing(eng, sc.Telemetry.TraceCap)
+		if tel.TraceCap > 0 {
+			ring = trace.NewRing(eng, tel.TraceCap)
 		}
 	}
 	rackOf := rackAssignment(sc.Clos)
@@ -264,6 +292,12 @@ func Run(sc Scenario) *Result {
 	}
 	fab.Net.Register(reg)
 
+	var rec *forensics.Recorder
+	if sc.Forensics != nil {
+		rec = forensics.NewRecorder(sc.Forensics)
+		fab.Net.SetHopObserver(rec)
+	}
+
 	res := &Result{Scenario: sc, OracleWQ: oracleWQ}
 
 	// Per-flow transport configs (built once, reused).
@@ -289,6 +323,12 @@ func Run(sc Scenario) *Result {
 	lyCfg.Trace = ring
 	fpCfg.Stats = transport.NewCounters(reg, "flexpass")
 	fpCfg.Trace = ring
+	// Credit-issue accounting at the pacers (naive and oWF share the
+	// expresspass counter set, matching the Stats hookup above).
+	xpCfg.Pacer.Trace, xpCfg.Pacer.Issued = ring, xpStats.CreditsIssued
+	owfCfg.Pacer.Trace, owfCfg.Pacer.Issued = ring, xpStats.CreditsIssued
+	lyCfg.Pacer.Trace, lyCfg.Pacer.Issued = ring, lyCfg.Stats.CreditsIssued
+	fpCfg.Pacer.Trace, fpCfg.Pacer.Issued = ring, fpCfg.Stats.CreditsIssued
 
 	altqCfg := fpCfg
 	altqCfg.ReClass = netem.ClassLegacy
@@ -343,8 +383,46 @@ func Run(sc Scenario) *Result {
 		})
 	}
 
-	prober := obs.NewProber(eng, reg, sc.Telemetry)
+	prober := obs.NewProber(eng, reg, tel)
 	prober.Start()
+
+	// Invariant auditors: credit conservation samples the live pacer /
+	// sender counters and the fabric's rate-limited credit-queue drops.
+	var aud *forensics.Auditor
+	if sc.Forensics != nil {
+		issued := func() int64 {
+			return xpStats.CreditsIssued.Value() +
+				lyCfg.Stats.CreditsIssued.Value() +
+				fpCfg.Stats.CreditsIssued.Value()
+		}
+		consumed := func() int64 {
+			return xpStats.CreditsGranted.Value() +
+				lyCfg.Stats.CreditsGranted.Value() +
+				fpCfg.Stats.CreditsGranted.Value()
+		}
+		creditDrops := func() int64 {
+			var n int64
+			count := func(p *netem.Port) {
+				for q := 0; q < p.NumQueues(); q++ {
+					if p.QueueConfig(q).RateLimit > 0 {
+						n += p.QueueStats(q).DroppedOver
+					}
+				}
+			}
+			for _, sw := range fab.Net.Switches {
+				for _, p := range sw.Ports() {
+					count(p)
+				}
+			}
+			for _, h := range fab.Net.Hosts {
+				count(h.NIC())
+			}
+			return n
+		}
+		aud = forensics.WireAudit(eng, sc.Forensics, fab.Net,
+			func() []*transport.Flow { return all }, issued, consumed, creditDrops)
+		aud.Start()
+	}
 
 	// Without telemetry the ad-hoc queue sampler provides Q1 occupancy;
 	// with it, the prober's per-queue gauge series are consumed instead of
@@ -407,6 +485,29 @@ func Run(sc Scenario) *Result {
 	res.Events = eng.Processed
 	res.Trace = ring
 
+	if sc.Forensics != nil {
+		// Ideal-FCT estimate for ranking only: wire bytes at line rate
+		// plus a fixed propagation allowance. Crude, but monotone in the
+		// real ideal, which is all slowdown ordering needs.
+		base := 4*sc.LinkDelay + 2*sc.HostDelay
+		slowdown := func(fl *transport.Flow) float64 {
+			wire := fl.Size
+			if segs := fl.Segs(); segs > 0 {
+				wire += int64(segs * (fl.SegWire(0) - fl.SegPayload(0)))
+			}
+			ideal := sc.LinkRate.TxTime(int(wire)) + base
+			if fct := fl.FCT(); fct > 0 && ideal > 0 {
+				return float64(fct) / float64(ideal)
+			}
+			return 0
+		}
+		res.Forensics = &forensics.Report{
+			Violations:        aud.Violations(),
+			ViolationsDropped: aud.Dropped(),
+			Timelines:         forensics.WorstTimelines(rec, ring, all, slowdown, sc.Forensics),
+		}
+	}
+
 	if reg != nil {
 		wl := ""
 		if sc.Workload != nil {
@@ -440,6 +541,9 @@ func Run(sc Scenario) *Result {
 			EventsPerSec: eps,
 		})
 		res.Telemetry.AttachTrace(ring)
+		if res.Forensics != nil {
+			res.Telemetry.Forensics = res.Forensics.Export()
+		}
 	}
 	return res
 }

@@ -164,3 +164,58 @@ func TestQuantiles(t *testing.T) {
 		}
 	}
 }
+
+func TestQuantilesEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []sim.Time
+		n    int
+		want []sim.Time
+	}{
+		{"empty input", nil, 5, nil},
+		{"empty slice", []sim.Time{}, 3, nil},
+		{"zero quantiles", []sim.Time{1, 2}, 0, nil},
+		{"negative quantiles", []sim.Time{1, 2}, -3, nil},
+		{"single sample", []sim.Time{42}, 4, []sim.Time{42, 42, 42, 42}},
+		{"more quantiles than samples", []sim.Time{10, 20}, 4, []sim.Time{10, 10, 20, 20}},
+		{"n equals len", []sim.Time{3, 1, 2}, 3, []sim.Time{1, 2, 3}},
+		{"one quantile is the max", []sim.Time{5, 1, 9}, 1, []sim.Time{9}},
+		{"duplicates", []sim.Time{7, 7, 7, 7}, 2, []sim.Time{7, 7}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := make([]sim.Time, len(tc.in))
+			copy(in, tc.in)
+			got := Quantiles(in, tc.n)
+			if len(got) != len(tc.want) {
+				t.Fatalf("Quantiles(%v, %d) = %v, want %v", tc.in, tc.n, got, tc.want)
+			}
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Fatalf("Quantiles(%v, %d) = %v, want %v", tc.in, tc.n, got, tc.want)
+				}
+			}
+			for i, v := range tc.in {
+				if in[i] != v {
+					t.Fatal("Quantiles mutated its input")
+				}
+			}
+		})
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if Percentile(nil, 0.99) != 0 {
+		t.Fatal("empty input must yield 0")
+	}
+	ts := []sim.Time{30, 10, 20}
+	if got := Percentile(ts, 0); got != 10 { // clamps to the minimum
+		t.Fatalf("p0 = %v, want 10", got)
+	}
+	if got := Percentile(ts, 1); got != 30 {
+		t.Fatalf("p100 = %v, want 30", got)
+	}
+	if got := Percentile([]sim.Time{5}, 0.5); got != 5 {
+		t.Fatalf("single-sample p50 = %v, want 5", got)
+	}
+}

@@ -1,0 +1,125 @@
+package netem
+
+import (
+	"testing"
+
+	"flexpass/internal/sim"
+	"flexpass/internal/units"
+)
+
+// dropWatcher is a minimal HopObserver that records only drops, the way
+// the forensics recorder sees them.
+type dropWatcher struct {
+	drops   int
+	reasons map[DropReason]int
+	queues  map[int]int
+}
+
+func (w *dropWatcher) HopEnqueue(sim.Time, *Port, int, *Packet, int64)              {}
+func (w *dropWatcher) HopDequeue(sim.Time, *Port, int, *Packet, sim.Time, sim.Time) {}
+func (w *dropWatcher) HopDrop(now sim.Time, p *Port, queue int, pkt *Packet, reason DropReason) {
+	w.drops++
+	if w.reasons == nil {
+		w.reasons = map[DropReason]int{}
+		w.queues = map[int]int{}
+	}
+	w.reasons[reason]++
+	w.queues[queue]++
+}
+
+// faultFabric hand-builds the paper's 2-to-1 testbed (two senders, one
+// receiver, one switch) without importing topo (which would cycle).
+func faultFabric(eng *sim.Engine) (*Network, []*Host, *Port) {
+	net := NewNetwork(eng)
+	sw := NewSwitch(eng, net.AllocID(), "sw0", nil)
+	qcfg := PortConfig{Queues: []QueueConfig{{Name: "Q0"}}}
+	var egress []*Port
+	for _, name := range []string{"h0", "h1", "h2"} {
+		id := net.AllocID()
+		nic := NewPort(eng, name+":nic", 10*units.Gbps, sim.Microsecond, qcfg, nil)
+		h := NewHost(eng, id, name, nic, 0)
+		nic.Connect(sw)
+		net.AddHost(h)
+		p := NewPort(eng, "sw0->"+name, 10*units.Gbps, sim.Microsecond, qcfg, nil)
+		p.Connect(h)
+		sw.AddPort(p)
+		sw.AddRoute(id, p)
+		egress = append(egress, p)
+	}
+	net.AddSwitch(sw)
+	return net, net.Hosts, egress[2] // the 2-to-1 bottleneck egress
+}
+
+// TestLinkDownFault: loss rate 1.0 on the receiver's egress models a
+// dead link — every packet is charged to fault injection, nothing is
+// delivered, and each loss surfaces as a DropFault hop event with
+// queue -1 (faults hit before classification).
+func TestLinkDownFault(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net, hosts, bottleneck := faultFabric(eng)
+	w := &dropWatcher{}
+	net.SetHopObserver(w)
+	bottleneck.SetLossRate(1.0)
+
+	const n = 40
+	for i := 0; i < n; i++ {
+		hosts[i%2].Send(&Packet{Dst: hosts[2].NodeID(), Flow: uint64(1 + i%2), Seq: uint32(i), Size: 1500})
+	}
+	eng.Run(sim.Second)
+
+	if hosts[2].RxPackets != 0 {
+		t.Fatalf("dead link delivered %d packets", hosts[2].RxPackets)
+	}
+	st := bottleneck.FaultStats()
+	if st.Injected != n {
+		t.Fatalf("FaultStats.Injected = %d, want %d", st.Injected, n)
+	}
+	if w.drops != n || w.reasons[DropFault] != n {
+		t.Fatalf("observer saw %d drops (%v), want %d fault drops", w.drops, w.reasons, n)
+	}
+	if w.queues[-1] != n {
+		t.Fatalf("fault drops should report queue -1, got %v", w.queues)
+	}
+	// Fault drops are injection accounting, not queue drops.
+	for q := 0; q < bottleneck.NumQueues(); q++ {
+		if s := bottleneck.QueueStats(q); s.DroppedOver != 0 || s.DroppedRed != 0 {
+			t.Fatalf("fault loss leaked into queue %d stats: %+v", q, s)
+		}
+	}
+}
+
+// TestPartialCorruptionFault: a lossy (not dead) link drops a
+// deterministic subset; delivered + injected must account for every
+// packet, and the same run replays identically with the same seed.
+func TestPartialCorruptionFault(t *testing.T) {
+	run := func() (delivered, injected, observed int64) {
+		eng := sim.NewEngine(7)
+		net, hosts, bottleneck := faultFabric(eng)
+		w := &dropWatcher{}
+		net.SetHopObserver(w)
+		bottleneck.SetLossRate(0.3)
+		const n = 200
+		for i := 0; i < n; i++ {
+			hosts[i%2].Send(&Packet{Dst: hosts[2].NodeID(), Flow: uint64(1 + i%2), Seq: uint32(i), Size: 1500})
+		}
+		eng.Run(sim.Second)
+		return hosts[2].RxPackets, bottleneck.FaultStats().Injected, int64(w.reasons[DropFault])
+	}
+
+	delivered, injected, observed := run()
+	if delivered == 0 || injected == 0 {
+		t.Fatalf("30%% loss should both deliver and drop: delivered=%d injected=%d", delivered, injected)
+	}
+	if delivered+injected != 200 {
+		t.Fatalf("delivered %d + injected %d != 200 sent", delivered, injected)
+	}
+	if observed != injected {
+		t.Fatalf("observer saw %d fault drops, injector counted %d", observed, injected)
+	}
+
+	d2, i2, o2 := run()
+	if d2 != delivered || i2 != injected || o2 != observed {
+		t.Fatalf("fault injection not deterministic: (%d,%d,%d) vs (%d,%d,%d)",
+			delivered, injected, observed, d2, i2, o2)
+	}
+}

@@ -59,6 +59,17 @@ const (
 	Red
 )
 
+// String names the color.
+func (c Color) String() string {
+	switch c {
+	case Green:
+		return "green"
+	case Red:
+		return "red"
+	}
+	return "unknown"
+}
+
 // Class selects the egress queue a packet is mapped to (the DSCP analog).
 // The default classifier maps Class i to queue i of every port; schemes and
 // transports pick classes to implement the paper's Q0/Q1/Q2 layout or
@@ -94,6 +105,11 @@ type Packet struct {
 	Meta any // transport-specific payload (ACK blocks, grant info, ...)
 
 	SentAt sim.Time // stamped by the sending endpoint (for RTT estimates)
+
+	// enqAt is restamped by each port at enqueue so the dequeue hook can
+	// report per-hop queueing delay. It is data-plane bookkeeping, not
+	// visible to endpoints.
+	enqAt sim.Time
 }
 
 // Node consumes packets delivered by the network.

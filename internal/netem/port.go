@@ -86,6 +86,8 @@ type Port struct {
 	lossRate float64
 	faults   FaultStats
 
+	hop HopObserver // optional read-only packet-event observer
+
 	stats PortStats
 }
 
@@ -110,8 +112,10 @@ func NewPort(eng *sim.Engine, name string, rate units.Rate, prop sim.Time, cfg P
 		shared:   shared,
 	}
 	maxBand := 0
-	for _, qc := range cfg.Queues {
-		p.queues = append(p.queues, newQueue(qc))
+	for i, qc := range cfg.Queues {
+		q := newQueue(qc)
+		q.idx = i
+		p.queues = append(p.queues, q)
 		if qc.Band > maxBand {
 			maxBand = qc.Band
 		}
@@ -194,6 +198,9 @@ func (p *Port) NumQueues() int { return len(p.queues) }
 func (p *Port) Send(pkt *Packet) {
 	if p.lossRate > 0 && p.eng.Rand().Float64() < p.lossRate {
 		p.faults.Injected++
+		if p.hop != nil {
+			p.hop.HopDrop(p.eng.Now(), p, -1, pkt, DropFault)
+		}
 		return
 	}
 	qi := int(pkt.Class)
@@ -215,6 +222,9 @@ func (p *Port) Send(pkt *Packet) {
 	if q.cfg.RedDropThreshold > 0 && pkt.Color == Red && q.redB+sz > int64(q.cfg.RedDropThreshold) {
 		q.stats.Dropped++
 		q.stats.DroppedRed++
+		if p.hop != nil {
+			p.hop.HopDrop(p.eng.Now(), p, qi, pkt, DropRedThreshold)
+		}
 		return
 	}
 
@@ -223,12 +233,18 @@ func (p *Port) Send(pkt *Packet) {
 		if q.bytes+sz > int64(q.cfg.CapBytes) {
 			q.stats.Dropped++
 			q.stats.DroppedOver++
+			if p.hop != nil {
+				p.hop.HopDrop(p.eng.Now(), p, qi, pkt, DropPrivateCap)
+			}
 			return
 		}
 	} else if p.shared != nil {
 		if !p.shared.admits(q.bytes, sz) {
 			q.stats.Dropped++
 			q.stats.DroppedOver++
+			if p.hop != nil {
+				p.hop.HopDrop(p.eng.Now(), p, qi, pkt, DropSharedBuffer)
+			}
 			return
 		}
 		p.shared.used += sz
@@ -256,7 +272,11 @@ func (p *Port) Send(pkt *Packet) {
 		}
 	}
 
+	pkt.enqAt = p.eng.Now()
 	q.push(pkt)
+	if p.hop != nil {
+		p.hop.HopEnqueue(pkt.enqAt, p, qi, pkt, q.bytes)
+	}
 	p.kick()
 }
 
@@ -291,6 +311,10 @@ func (p *Port) kick() {
 	}
 	p.busy = true
 	tx := p.rate.TxTime(pkt.Size)
+	if p.hop != nil {
+		now := p.eng.Now()
+		p.hop.HopDequeue(now, p, q.idx, pkt, now-pkt.enqAt, tx)
+	}
 	p.stats.TxPackets++
 	p.stats.TxBytes += int64(pkt.Size)
 	if int(pkt.Kind) < len(p.stats.TxBytesKind) {

@@ -66,6 +66,7 @@ type QueueStats struct {
 // queue is a FIFO with byte accounting, CE marking, and selective dropping.
 type queue struct {
 	cfg   QueueConfig
+	idx   int // position within the owning port (for hop observers)
 	pkts  []*Packet
 	head  int
 	bytes int64 // current occupancy in bytes

@@ -75,13 +75,15 @@ type TraceData struct {
 }
 
 // Run is a complete run artifact: one manifest plus every collected
-// series, closing counter, histogram, and trace event.
+// series, closing counter, histogram, trace event, and forensics line
+// (auditor violations and flow timelines).
 type Run struct {
-	Manifest Manifest
-	Series   []SeriesData
-	Counters []CounterData
-	Hists    []HistData
-	Trace    []TraceData
+	Manifest  Manifest
+	Series    []SeriesData
+	Counters  []CounterData
+	Hists     []HistData
+	Trace     []TraceData
+	Forensics []ForensicsData
 }
 
 // Collect assembles a run artifact from the registry's closing values
@@ -152,12 +154,13 @@ func (r *Run) SeriesMatching(metric string) []SeriesData {
 // payload pointers. Emitting a shared envelope keeps readers trivial —
 // they switch on "type" and unmarshal once.
 type jsonlLine struct {
-	Type     string       `json:"type"`
-	Manifest *Manifest    `json:"manifest,omitempty"`
-	Series   *SeriesData  `json:"series,omitempty"`
-	Counter  *CounterData `json:"counter,omitempty"`
-	Hist     *HistData    `json:"hist,omitempty"`
-	Trace    *TraceData   `json:"trace,omitempty"`
+	Type      string         `json:"type"`
+	Manifest  *Manifest      `json:"manifest,omitempty"`
+	Series    *SeriesData    `json:"series,omitempty"`
+	Counter   *CounterData   `json:"counter,omitempty"`
+	Hist      *HistData      `json:"hist,omitempty"`
+	Trace     *TraceData     `json:"trace,omitempty"`
+	Forensics *ForensicsData `json:"forensics,omitempty"`
 }
 
 // WriteJSONL streams the artifact: first the manifest line, then one
@@ -188,6 +191,11 @@ func (r *Run) WriteJSONL(w io.Writer) error {
 			return err
 		}
 	}
+	for i := range r.Forensics {
+		if err := enc.Encode(jsonlLine{Type: "forensics", Forensics: &r.Forensics[i]}); err != nil {
+			return err
+		}
+	}
 	return bw.Flush()
 }
 
@@ -204,7 +212,27 @@ func (r *Run) WriteJSONLFile(path string) error {
 	return f.Close()
 }
 
-// ReadJSONL parses an artifact written by WriteJSONL.
+// CorruptArtifactError reports a damaged JSONL artifact — a truncated
+// tail, a garbled line, or an unknown line type. ReadJSONL returns it
+// alongside whatever it could salvage, so callers can distinguish "the
+// run crashed mid-write but the prefix is usable" from a clean read.
+type CorruptArtifactError struct {
+	Line int   // 1-based line number of the first damage
+	Err  error // underlying parse / scan failure
+}
+
+func (e *CorruptArtifactError) Error() string {
+	return fmt.Sprintf("obs: corrupt artifact at line %d: %v", e.Line, e.Err)
+}
+
+// Unwrap exposes the underlying failure.
+func (e *CorruptArtifactError) Unwrap() error { return e.Err }
+
+// ReadJSONL parses an artifact written by WriteJSONL. Damaged input —
+// truncated mid-line, a corrupt line, or a line of unknown type — does
+// not fail the whole read: parsing stops at the first bad line and the
+// salvaged prefix is returned together with a *CorruptArtifactError. A
+// nil error means the artifact was read cleanly and completely.
 func ReadJSONL(rd io.Reader) (*Run, error) {
 	sc := bufio.NewScanner(rd)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
@@ -218,12 +246,12 @@ func ReadJSONL(rd io.Reader) (*Run, error) {
 		}
 		var l jsonlLine
 		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
-			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+			return r, &CorruptArtifactError{Line: line, Err: err}
 		}
 		switch l.Type {
 		case "manifest":
 			if l.Manifest == nil {
-				return nil, fmt.Errorf("obs: line %d: manifest line without payload", line)
+				return r, &CorruptArtifactError{Line: line, Err: fmt.Errorf("manifest line without payload")}
 			}
 			r.Manifest = *l.Manifest
 			sawManifest = true
@@ -243,12 +271,16 @@ func ReadJSONL(rd io.Reader) (*Run, error) {
 			if l.Trace != nil {
 				r.Trace = append(r.Trace, *l.Trace)
 			}
+		case "forensics":
+			if l.Forensics != nil {
+				r.Forensics = append(r.Forensics, *l.Forensics)
+			}
 		default:
-			return nil, fmt.Errorf("obs: line %d: unknown line type %q", line, l.Type)
+			return r, &CorruptArtifactError{Line: line, Err: fmt.Errorf("unknown line type %q", l.Type)}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return r, &CorruptArtifactError{Line: line + 1, Err: err}
 	}
 	if !sawManifest {
 		return nil, fmt.Errorf("obs: artifact has no manifest line")

@@ -1,0 +1,94 @@
+package obs
+
+// Forensics line payloads for the JSONL run artifact. The forensics
+// package (which owns the live recorder and auditors) converts its
+// in-memory records into these plain structs; obs deliberately knows
+// nothing about netem or transport types, so enums arrive as strings.
+
+// ForensicsData is one "forensics" artifact line: exactly one of the
+// payload pointers is set.
+type ForensicsData struct {
+	Violation *ViolationData `json:"violation,omitempty"`
+	Timeline  *TimelineData  `json:"timeline,omitempty"`
+}
+
+// ViolationData is one invariant-auditor finding.
+type ViolationData struct {
+	AtPs    int64  `json:"at_ps"`
+	Auditor string `json:"auditor"`
+	Entity  string `json:"entity,omitempty"`
+	Flow    uint64 `json:"flow,omitempty"`
+	Detail  string `json:"detail"`
+}
+
+// TimelineData is one flow's assembled forensic timeline: hop-by-hop
+// packet events plus transport lifecycle events and a per-port
+// queueing-delay breakdown.
+type TimelineData struct {
+	Flow        uint64         `json:"flow"`
+	Transport   string         `json:"transport"`
+	Size        int64          `json:"size"`
+	StartPs     int64          `json:"start_ps"`
+	FctPs       int64          `json:"fct_ps"` // -1 when the flow never completed
+	Slowdown    float64        `json:"slowdown,omitempty"`
+	Hops        []HopData      `json:"hops,omitempty"`
+	HopsDropped int64          `json:"hops_dropped,omitempty"` // records lost to the per-flow cap
+	Delays      []HopDelayData `json:"delays,omitempty"`
+	Events      []TraceData    `json:"events,omitempty"`
+}
+
+// HopData is one packet event at one port.
+type HopData struct {
+	AtPs       int64  `json:"at_ps"`
+	Port       string `json:"port"`
+	Queue      int    `json:"queue"` // -1 for fault drops (pre-classification)
+	Event      string `json:"event"` // "enq", "deq", "drop"
+	Kind       string `json:"kind"`  // packet kind ("pro-data", "credit", ...)
+	Seq        uint32 `json:"seq"`
+	Color      string `json:"color,omitempty"`
+	WaitPs     int64  `json:"wait_ps,omitempty"` // dequeue: time spent queued here
+	TxPs       int64  `json:"tx_ps,omitempty"`   // dequeue: serialization time
+	QueueBytes int64  `json:"queue_bytes,omitempty"`
+	Reason     string `json:"reason,omitempty"` // drop reason
+}
+
+// HopDelayData aggregates a flow's queueing behaviour at one port.
+type HopDelayData struct {
+	Port        string `json:"port"`
+	Dequeues    int64  `json:"dequeues"`
+	Drops       int64  `json:"drops"`
+	TotalWaitPs int64  `json:"total_wait_ps"`
+	MaxWaitPs   int64  `json:"max_wait_ps"`
+}
+
+// Violations returns the artifact's auditor findings.
+func (r *Run) Violations() []ViolationData {
+	var out []ViolationData
+	for _, f := range r.Forensics {
+		if f.Violation != nil {
+			out = append(out, *f.Violation)
+		}
+	}
+	return out
+}
+
+// Timelines returns the artifact's flow timelines.
+func (r *Run) Timelines() []TimelineData {
+	var out []TimelineData
+	for _, f := range r.Forensics {
+		if f.Timeline != nil {
+			out = append(out, *f.Timeline)
+		}
+	}
+	return out
+}
+
+// FindTimeline returns the timeline for a flow, or nil.
+func (r *Run) FindTimeline(flow uint64) *TimelineData {
+	for _, f := range r.Forensics {
+		if f.Timeline != nil && f.Timeline.Flow == flow {
+			return f.Timeline
+		}
+	}
+	return nil
+}

@@ -28,12 +28,15 @@ const (
 	Retransmit
 	Timeout
 	CreditWaste
+	CreditIssue
+	CreditUse
+	WindowCut
 	Custom
 )
 
 var kindNames = [...]string{
 	"flow-start", "flow-done", "drop", "mark", "retx", "timeout",
-	"credit-waste", "custom",
+	"credit-waste", "credit-issue", "credit-use", "window-cut", "custom",
 }
 
 // String names the kind.

@@ -12,13 +12,14 @@ import "flexpass/internal/obs"
 // transition plots (Fig. 6/7) are built from; FCT is recorded into a
 // log-bucket histogram at completion.
 type Counters struct {
-	Started        *obs.Counter // flows started
-	Completed      *obs.Counter // flows completed
-	RxBytes        *obs.Counter // payload bytes delivered in order
-	Timeouts       *obs.Counter // RTO / recovery-timer firings
-	Retransmits    *obs.Counter // segments retransmitted
-	CreditsGranted *obs.Counter // credits/tokens/grants received by senders
-	CreditsWasted  *obs.Counter // credits that arrived with nothing to send
+	Started        *obs.Counter   // flows started
+	Completed      *obs.Counter   // flows completed
+	RxBytes        *obs.Counter   // payload bytes delivered in order
+	Timeouts       *obs.Counter   // RTO / recovery-timer firings
+	Retransmits    *obs.Counter   // segments retransmitted
+	CreditsIssued  *obs.Counter   // credits/tokens/grants sent by receivers
+	CreditsGranted *obs.Counter   // credits/tokens/grants received by senders
+	CreditsWasted  *obs.Counter   // credits that arrived with nothing to send
 	FCT            *obs.Histogram // flow completion times, microseconds
 }
 
@@ -35,6 +36,7 @@ func NewCounters(reg *obs.Registry, name string) Counters {
 		RxBytes:        reg.Counter(ent, "rx_bytes"),
 		Timeouts:       reg.Counter(ent, "timeouts"),
 		Retransmits:    reg.Counter(ent, "retransmits"),
+		CreditsIssued:  reg.Counter(ent, "credits_issued"),
 		CreditsGranted: reg.Counter(ent, "credits_granted"),
 		CreditsWasted:  reg.Counter(ent, "credits_wasted"),
 		FCT:            reg.Histogram(ent, "fct_us"),

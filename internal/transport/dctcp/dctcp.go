@@ -192,6 +192,7 @@ func (s *Sender) onTimeout() {
 	s.cfg.Trace.Add(trace.Timeout, s.flow.ID, int64(s.cumAck), "rto")
 	s.rtoBackoff++
 	s.win.OnTimeout()
+	s.cfg.Trace.Addf(trace.WindowCut, s.flow.ID, int64(s.cumAck), "timeout cwnd=%.1f", s.win.Cwnd)
 	s.dupAcks = 0
 	for seq := s.cumAck; seq < s.nextNew; seq++ {
 		if s.state[seq] == segSent {
@@ -275,6 +276,7 @@ func (s *Sender) Handle(pkt *netem.Packet) {
 		if newLoss && s.cumAck >= s.recoverEdge {
 			s.win.OnLoss(s.cumAck, s.nextNew)
 			s.recoverEdge = s.nextNew
+			s.cfg.Trace.Addf(trace.WindowCut, s.flow.ID, int64(s.cumAck), "dupack cwnd=%.1f", s.win.Cwnd)
 		}
 	}
 

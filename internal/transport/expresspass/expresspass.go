@@ -239,6 +239,7 @@ func (s *Sender) Handle(pkt *netem.Packet) {
 			return
 		}
 		s.transmit(seq, retx, pkt.SubSeq)
+		s.cfg.Trace.Add(trace.CreditUse, s.flow.ID, int64(seq), "")
 		s.armRecovery()
 	case netem.KindAckPro:
 		s.onAck(pkt)

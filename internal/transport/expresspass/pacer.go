@@ -10,7 +10,9 @@ package expresspass
 
 import (
 	"flexpass/internal/netem"
+	"flexpass/internal/obs"
 	"flexpass/internal/sim"
+	"flexpass/internal/trace"
 	"flexpass/internal/units"
 )
 
@@ -41,6 +43,13 @@ type PacerConfig struct {
 	// Jitter is the relative credit-interval jitter (ExpressPass jitters
 	// credit sends to avoid synchronization). Default 0.1 when zero.
 	Jitter float64
+
+	// Trace, when non-nil, records a credit-issue event per credit sent
+	// (forensics timelines). Nil no-ops.
+	Trace *trace.Ring
+	// Issued, when non-nil, counts credits sent (credit-conservation
+	// auditing). Nil no-ops.
+	Issued *obs.Counter
 }
 
 // DefaultPacerConfig returns the §6.2 parameters for a given per-flow
@@ -175,6 +184,8 @@ func (p *Pacer) scheduleCredit() {
 func (p *Pacer) sendCredit() {
 	p.sent++
 	p.TotalCredits++
+	p.cfg.Issued.Inc()
+	p.cfg.Trace.Add(trace.CreditIssue, p.flow, int64(p.creditSeq), "")
 	p.host.Send(&netem.Packet{
 		Kind:   netem.KindCredit,
 		Class:  p.cfg.CreditClass,

@@ -260,6 +260,7 @@ func (s *Sender) onRecoveryTimeout() {
 		}
 	}
 	s.win.OnTimeout()
+	s.cfg.Trace.Addf(trace.WindowCut, s.flow.ID, int64(s.reCum), "timeout cwnd=%.1f", s.win.Cwnd())
 	s.pumpReactive()
 	s.armRecovery()
 }
@@ -287,6 +288,7 @@ func (s *Sender) rackDetect() {
 	}
 	if newLoss {
 		s.win.OnLoss(s.reCum, len(s.reMap))
+		s.cfg.Trace.Addf(trace.WindowCut, s.flow.ID, int64(s.reCum), "rack cwnd=%.1f", s.win.Cwnd())
 	}
 }
 
@@ -496,6 +498,7 @@ func (s *Sender) Handle(pkt *netem.Packet) {
 			return
 		}
 		s.sendProactive(seg, pkt.SubSeq, proRetx, retx)
+		s.cfg.Trace.Add(trace.CreditUse, s.flow.ID, int64(seg), "")
 		s.armRecovery()
 	case netem.KindAckRe:
 		s.onReactiveAck(pkt)
@@ -564,6 +567,7 @@ func (s *Sender) onReactiveAck(pkt *netem.Packet) {
 		}
 		if newLoss {
 			s.win.OnLoss(cum, len(s.reMap))
+			s.cfg.Trace.Addf(trace.WindowCut, s.flow.ID, int64(cum), "dupack cwnd=%.1f", s.win.Cwnd())
 		}
 		// Slide the left edge past lost transmissions.
 		for s.reCum < len(s.reState) && s.reState[s.reCum] != subSent {

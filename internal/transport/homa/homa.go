@@ -116,8 +116,14 @@ func (s *Sender) Handle(pkt *netem.Packet) {
 	if pkt.Kind != netem.KindHomaGrant {
 		return
 	}
+	s.flow.CreditsGranted++
+	s.cfg.Stats.CreditsGranted.Inc()
 	if s.next < s.flow.Segs() {
+		s.cfg.Trace.Add(trace.CreditUse, s.flow.ID, int64(s.next), "grant")
 		s.sendSeg(s.cfg.SchedClass)
+	} else {
+		s.flow.CreditsWasted++
+		s.cfg.Stats.CreditsWasted.Inc()
 	}
 }
 
@@ -176,6 +182,8 @@ func (r *Receiver) scheduleGrant() {
 		if !r.granting {
 			return
 		}
+		r.cfg.Stats.CreditsIssued.Inc()
+		r.cfg.Trace.Add(trace.CreditIssue, r.flow.ID, int64(r.received), "grant")
 		r.flow.Dst.Host.Send(&netem.Packet{
 			Kind:   netem.KindHomaGrant,
 			Class:  r.cfg.GrantClass,

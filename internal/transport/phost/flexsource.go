@@ -3,6 +3,7 @@ package phost
 import (
 	"flexpass/internal/netem"
 	"flexpass/internal/sim"
+	"flexpass/internal/trace"
 	"flexpass/internal/transport"
 )
 
@@ -82,6 +83,8 @@ func (s *FlexSource) demand() bool {
 
 // sendToken implements participant.
 func (s *FlexSource) sendToken() {
+	s.cfg.Stats.CreditsIssued.Inc()
+	s.cfg.Trace.Add(trace.CreditIssue, s.flow.ID, int64(s.seq), "token")
 	s.flow.Dst.Host.Send(&netem.Packet{
 		Kind:   netem.KindCredit,
 		Class:  s.cfg.TokenClass,

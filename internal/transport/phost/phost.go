@@ -321,6 +321,7 @@ func (s *Sender) Handle(pkt *netem.Packet) {
 			return
 		}
 		s.transmit(seq, retx)
+		s.cfg.Trace.Add(trace.CreditUse, s.flow.ID, int64(seq), "token")
 		s.armRecovery()
 	case netem.KindAckPro:
 		s.onAck(pkt)
@@ -414,6 +415,8 @@ func (r *Receiver) demand() bool {
 
 func (r *Receiver) sendToken() {
 	r.tokensSent++
+	r.cfg.Stats.CreditsIssued.Inc()
+	r.cfg.Trace.Add(trace.CreditIssue, r.flow.ID, int64(r.tokensSent), "token")
 	r.flow.Dst.Host.Send(&netem.Packet{
 		Kind:   netem.KindCredit,
 		Class:  r.cfg.TokenClass,
