@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-sim forensics-demo clean
+.PHONY: all build vet test race check bench bench-sim bench-hot bench-baseline bench-compare forensics-demo clean
 
 all: check
 
@@ -30,6 +30,33 @@ bench:
 bench-sim:
 	$(GO) test -bench . -benchtime 2s -run '^$$' ./internal/sim/
 
+# Hot-path benchmark set: scheduler dispatch/churn/cancellation plus the
+# netem per-hop costs. These feed the bench-baseline/bench-compare
+# regression flow; keep the set stable so artifacts stay comparable.
+HOT_SIM   = BenchmarkEngineDispatch|BenchmarkEventChurn|BenchmarkTimerStopPending
+HOT_NETEM = BenchmarkPortForward|BenchmarkHostHop
+
+bench-hot:
+	@$(GO) test -bench '$(HOT_SIM)' -benchmem -benchtime 1s -run '^$$' ./internal/sim/
+	@$(GO) test -bench '$(HOT_NETEM)' -benchmem -benchtime 1s -run '^$$' ./internal/netem/
+
+# bench-baseline records the hot-path numbers of the current tree into
+# bench-baseline.json; run it on the pre-change commit. bench-compare
+# re-runs the set and writes BENCH_PR3.json with per-metric deltas
+# (negative ns/op, allocs/op, B/op deltas are improvements).
+bench-baseline:
+	@{ $(GO) test -bench '$(HOT_SIM)' -benchmem -benchtime 1s -run '^$$' ./internal/sim/ ; \
+	   $(GO) test -bench '$(HOT_NETEM)' -benchmem -benchtime 1s -run '^$$' ./internal/netem/ ; } \
+	 | $(GO) run ./cmd/benchjson parse > bench-baseline.json
+	@echo wrote bench-baseline.json
+
+bench-compare:
+	@{ $(GO) test -bench '$(HOT_SIM)' -benchmem -benchtime 1s -run '^$$' ./internal/sim/ ; \
+	   $(GO) test -bench '$(HOT_NETEM)' -benchmem -benchtime 1s -run '^$$' ./internal/netem/ ; } \
+	 | $(GO) run ./cmd/benchjson parse > bench-current.json
+	@$(GO) run ./cmd/benchjson compare bench-baseline.json bench-current.json > BENCH_PR3.json
+	@echo wrote BENCH_PR3.json
+
 # Observation-only flow forensics on an incast run: records hop-by-hop
 # packet events, runs the invariant auditors (credit conservation,
 # shared-buffer accounting, starvation — a healthy run reports zero
@@ -39,4 +66,4 @@ forensics-demo:
 	$(GO) run ./cmd/flexplot timeline forensics.jsonl
 
 clean:
-	rm -f cpu.prof mem.prof run.jsonl forensics.jsonl
+	rm -f cpu.prof mem.prof run.jsonl forensics.jsonl bench-current.json

@@ -116,6 +116,11 @@ type TestbedConfig struct {
 	LinkRate Rate    // default 10Gbps
 	WQ       float64 // FlexPass queue weight, default 0.5
 	Seed     int64
+	// PoolPackets recycles consumed frames through a per-network free
+	// list (see DESIGN.md "Performance"). Results are byte-identical
+	// with pooling on or off; custom Receive handlers must not retain
+	// a *Packet past the callback when enabled.
+	PoolPackets bool
 }
 
 // Testbed is a small fabric with the FlexPass switch configuration, for
@@ -165,6 +170,9 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 		fab = topo.Dumbbell(eng, cfg.Hosts/2, cfg.Hosts-cfg.Hosts/2, cfg.LinkRate, params)
 	default:
 		panic("flexpass: unknown testbed kind")
+	}
+	if cfg.PoolPackets {
+		fab.Net.EnablePacketPool()
 	}
 	tb := &Testbed{Eng: eng, Fabric: fab, cfg: cfg}
 	for i := 0; i < cfg.Hosts; i++ {

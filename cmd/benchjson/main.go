@@ -1,0 +1,236 @@
+// Command benchjson turns `go test -bench` output into a machine-readable
+// JSON artifact and compares two such artifacts into a regression report.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./internal/sim/ | benchjson parse > baseline.json
+//	benchjson compare baseline.json current.json > BENCH_PR3.json
+//
+// The parse mode extracts every metric a benchmark line reports (ns/op,
+// B/op, allocs/op, plus custom metrics such as events/sec), keyed by the
+// benchmark name with the -GOMAXPROCS suffix stripped. The compare mode
+// emits baseline, current, and per-metric percentage deltas; for
+// cost-like metrics (ns/op, allocs/op, B/op) negative deltas are
+// improvements.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Metrics maps a metric unit ("ns/op", "allocs/op", "events/sec", ...)
+// to its value for one benchmark.
+type Metrics map[string]float64
+
+// Artifact is the parse-mode output: benchmark name → metrics.
+type Artifact struct {
+	GeneratedAt string             `json:"generated_at"`
+	GoOS        string             `json:"goos,omitempty"`
+	GoArch      string             `json:"goarch,omitempty"`
+	Benchmarks  map[string]Metrics `json:"benchmarks"`
+}
+
+// Report is the compare-mode output.
+type Report struct {
+	GeneratedAt string             `json:"generated_at"`
+	Baseline    map[string]Metrics `json:"baseline"`
+	Current     map[string]Metrics `json:"current"`
+	// DeltaPct is (current-baseline)/baseline × 100 per shared metric.
+	// For ns/op, allocs/op, and B/op a negative value is an improvement.
+	DeltaPct map[string]Metrics `json:"delta_pct"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fatal("usage: benchjson parse|compare [args]")
+	}
+	switch os.Args[1] {
+	case "parse":
+		parseCmd()
+	case "compare":
+		if len(os.Args) != 4 {
+			fatal("usage: benchjson compare baseline.json current.json")
+		}
+		compareCmd(os.Args[2], os.Args[3])
+	default:
+		fatal("unknown mode %q", os.Args[1])
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func parseCmd() {
+	art := Artifact{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Benchmarks:  map[string]Metrics{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		// Pass the raw output through so the artifact pipeline stays
+		// observable in CI logs.
+		fmt.Fprintln(os.Stderr, line)
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			art.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			art.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		}
+		name, m, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		if prev, dup := art.Benchmarks[name]; dup {
+			// Multiple -count runs: keep the minimum of cost metrics and
+			// the maximum of rate metrics (best observed performance).
+			for k, v := range m {
+				if old, ok := prev[k]; ok {
+					if isRate(k) {
+						if v > old {
+							prev[k] = v
+						}
+					} else if v < old {
+						prev[k] = v
+					}
+				} else {
+					prev[k] = v
+				}
+			}
+		} else {
+			art.Benchmarks[name] = m
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal("reading stdin: %v", err)
+	}
+	if len(art.Benchmarks) == 0 {
+		fatal("no benchmark lines found on stdin")
+	}
+	emit(art)
+}
+
+// isRate reports whether higher values of the metric are better.
+func isRate(unit string) bool {
+	return strings.Contains(unit, "/sec") || strings.Contains(unit, "/s")
+}
+
+// parseBenchLine parses one `Benchmark...` result line. The format is
+// "BenchmarkName-P  N  v1 unit1  v2 unit2 ...".
+func parseBenchLine(line string) (string, Metrics, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", nil, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", nil, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return "", nil, false
+	}
+	m := Metrics{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		m[fields[i+1]] = v
+	}
+	if len(m) == 0 {
+		return "", nil, false
+	}
+	return name, m, true
+}
+
+func compareCmd(basePath, curPath string) {
+	base := readArtifact(basePath)
+	cur := readArtifact(curPath)
+	rep := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Baseline:    base.Benchmarks,
+		Current:     cur.Benchmarks,
+		DeltaPct:    map[string]Metrics{},
+	}
+	var names []string
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bm, ok := base.Benchmarks[name]
+		if !ok {
+			continue
+		}
+		cm := cur.Benchmarks[name]
+		d := Metrics{}
+		for unit, cv := range cm {
+			bv, ok := bm[unit]
+			if !ok || bv == 0 {
+				continue
+			}
+			d[unit] = round2((cv - bv) / bv * 100)
+		}
+		if len(d) > 0 {
+			rep.DeltaPct[name] = d
+		}
+	}
+	emit(rep)
+
+	// Human-readable summary on stderr for CI logs.
+	for _, name := range names {
+		d, ok := rep.DeltaPct[name]
+		if !ok {
+			continue
+		}
+		var parts []string
+		for _, unit := range []string{"ns/op", "allocs/op", "B/op", "events/sec"} {
+			if v, ok := d[unit]; ok {
+				parts = append(parts, fmt.Sprintf("%s %+0.1f%%", unit, v))
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%-40s %s\n", name, strings.Join(parts, "  "))
+	}
+}
+
+func round2(v float64) float64 {
+	if v < 0 {
+		return float64(int64(v*100-0.5)) / 100
+	}
+	return float64(int64(v*100+0.5)) / 100
+}
+
+func readArtifact(path string) Artifact {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var art Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		fatal("parsing %s: %v", path, err)
+	}
+	return art
+}
+
+func emit(v any) {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fatal("encoding: %v", err)
+	}
+	os.Stdout.Write(append(out, '\n'))
+}

@@ -42,6 +42,7 @@ func main() {
 		forOut     = flag.String("forensics-out", "", "enable the forensic plane (hop recording, invariant auditors, worst-flow timelines) and write the run artifact as JSONL here")
 		traceFlow  = flag.String("trace-flow", "", "comma-separated flow IDs whose timelines are always exported (implies forensics)")
 		pprofOut   = flag.String("pprof", "", "write a CPU profile of the simulation to this file")
+		poolPkts   = flag.Bool("pool-packets", false, "recycle consumed frames through a per-network free list (results identical; lower GC pressure)")
 	)
 	flag.Parse()
 
@@ -54,6 +55,7 @@ func main() {
 	sc.Duration = sim.Time(*durMS * float64(sim.Millisecond))
 	sc.IncastFraction = *incast
 	sc.SampleQueues = *queues
+	sc.PoolPackets = *poolPkts
 	sc.Workload = workload.ByName(*wl)
 	if sc.Workload == nil {
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)

@@ -1,0 +1,132 @@
+package flexpass
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"testing"
+)
+
+// FlowsDigest hashes every per-flow outcome (completion, FCT, byte and
+// retransmission accounting) into one hex digest. Two runs produce the
+// same digest iff their flow-visible results are byte-identical, which is
+// the repository's contract for engine/data-plane optimizations: they may
+// change how fast the simulator runs, never what it computes.
+func FlowsDigest(flows []*Flow) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	for _, fl := range flows {
+		w(int64(fl.ID))
+		w(fl.Size)
+		w(int64(fl.Start))
+		w(int64(fl.FCT()))
+		w(fl.RxBytes)
+		w(fl.RxBytesPro)
+		w(fl.RxBytesRe)
+		w(int64(fl.Timeouts))
+		w(int64(fl.Retransmits))
+		w(int64(fl.ProRetx))
+		w(int64(fl.RedundantSegs))
+		w(fl.MaxReorderB)
+		w(int64(fl.CreditsGranted))
+		w(int64(fl.CreditsWasted))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// goldenDigests are the per-transport digests of runGoldenScenario,
+// recorded before the hot-path overhaul (event pooling, monomorphic
+// heap, packet recycling) landed. Any scheduling-order change — however
+// subtle — shows up here as a digest mismatch, so optimizations that are
+// supposed to be behaviour-preserving are caught explicitly.
+//
+// Recorded on linux/amd64, go1.24. If a digest changes INTENTIONALLY
+// (a behavioural fix or model change), re-record it with:
+//
+//	go test -run TestGoldenDigest -v .
+var goldenDigests = map[string]string{
+	"flexpass":    "10a4e94034b6d1f7",
+	"expresspass": "fa4b5c89f6ae1e73",
+	"dctcp":       "0580af3cb6559723",
+	"homa":        "75a8ca3fb22ce850",
+	"phost":       "0bc385501275211f",
+	"mixed":       "e1567e585b3580e2",
+}
+
+// runGoldenScenario runs a small mixed-size contention scenario — an
+// incast into host 4, a reverse bulk flow, and staggered short flows —
+// on a 5-host single-switch testbed under one transport ("mixed" runs
+// FlexPass, DCTCP and ExpressPass side by side) and returns the flow
+// digest.
+func runGoldenScenario(transport string, pool bool) string {
+	tb := NewTestbed(TestbedConfig{Hosts: 5, LinkRate: 10 * Gbps, Seed: 7, PoolPackets: pool})
+	tp := func(i int) string {
+		if transport != "mixed" {
+			return transport
+		}
+		return []string{"flexpass", "dctcp", "expresspass"}[i%3]
+	}
+	tb.StartFlowAt(0, tp(0), 0, 4, 2_000_000)
+	tb.StartFlowAt(0, tp(1), 4, 0, 500_000)
+	tb.StartFlowAt(100*Microsecond, tp(2), 1, 4, 150_000)
+	tb.StartFlowAt(120*Microsecond, tp(3), 2, 4, 30_000)
+	tb.StartFlowAt(130*Microsecond, tp(4), 3, 4, 8_000)
+	tb.StartFlowAt(200*Microsecond, tp(5), 1, 2, 1_460)
+	tb.StartFlowAt(2*Millisecond, tp(6), 0, 4, 64_000)
+	tb.Run(200 * Millisecond)
+	for _, fl := range tb.Flows() {
+		if !fl.Completed {
+			panic(fmt.Sprintf("golden scenario: %s flow %d incomplete", transport, fl.ID))
+		}
+	}
+	return FlowsDigest(tb.Flows())
+}
+
+var goldenTransports = []string{"flexpass", "expresspass", "dctcp", "homa", "phost", "mixed"}
+
+// TestGoldenDigest proves determinism end to end: every transport's
+// scenario run twice yields the same digest, and (on the recording
+// platform) the digest equals the checked-in pre-optimization value.
+func TestGoldenDigest(t *testing.T) {
+	for _, tp := range goldenTransports {
+		tp := tp
+		t.Run(tp, func(t *testing.T) {
+			d1 := runGoldenScenario(tp, false)
+			d2 := runGoldenScenario(tp, false)
+			if d1 != d2 {
+				t.Fatalf("non-deterministic: %s vs %s", d1, d2)
+			}
+			t.Logf("%s digest: %s", tp, d1)
+			want := goldenDigests[tp]
+			if runtime.GOARCH != "amd64" {
+				// Floating-point scheduling arithmetic may fuse differently
+				// off amd64; determinism within the platform still holds.
+				t.Skipf("golden constants recorded on amd64; got %s", runtime.GOARCH)
+			}
+			if d1 != want {
+				t.Fatalf("digest %s != recorded %s — scheduling-visible behaviour changed", d1, want)
+			}
+		})
+	}
+}
+
+// TestGoldenDigestPooled proves packet recycling is invisible to results:
+// the pooled run of every golden scenario produces the byte-identical
+// digest of the unpooled run.
+func TestGoldenDigestPooled(t *testing.T) {
+	for _, tp := range goldenTransports {
+		tp := tp
+		t.Run(tp, func(t *testing.T) {
+			plain := runGoldenScenario(tp, false)
+			pooled := runGoldenScenario(tp, true)
+			if plain != pooled {
+				t.Fatalf("pooling changed results: plain %s pooled %s", plain, pooled)
+			}
+		})
+	}
+}

@@ -103,6 +103,12 @@ type Scenario struct {
 	// across one run per seed before computing statistics (tail
 	// percentiles over the union of flows).
 	PoolSeeds []int64
+
+	// PoolPackets recycles consumed frames through a per-network free
+	// list (netem.Network.EnablePacketPool). Observation-only for
+	// results: flow statistics are byte-identical with pooling on or
+	// off; it trims steady-state allocation in long runs.
+	PoolPackets bool
 }
 
 // BaseScenario returns the §6.2 configuration at the given scale. Scale 1
@@ -286,6 +292,9 @@ func Run(sc Scenario) *Result {
 		BufAlpha:  sc.BufAlpha,
 		Profile:   profile,
 	})
+	if sc.PoolPackets {
+		fab.Net.EnablePacketPool()
+	}
 	agents := make([]*transport.Agent, hosts)
 	for i := range agents {
 		agents[i] = transport.NewAgent(eng, fab.Net.Host(i))

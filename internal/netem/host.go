@@ -16,6 +16,17 @@ type Host struct {
 	delay   sim.Time // host processing delay applied per transmitted packet
 	handler func(*Packet)
 
+	// Outbound frames waiting out the host processing delay. One event is
+	// scheduled per Send (so event ordering is identical to scheduling a
+	// closure per packet), but the packet rides this FIFO and the single
+	// pre-bound sendFn, not a fresh closure: the delay is constant, so
+	// FIFO order and event dispatch order always agree.
+	sendQ    []*Packet
+	sendHead int
+	sendFn   func()
+
+	pool *PacketPool // optional packet free list (Network.EnablePacketPool)
+
 	// RxPackets counts packets delivered to the handler.
 	RxPackets int64
 }
@@ -24,7 +35,9 @@ type Host struct {
 // ownership of it.
 func NewHost(eng *sim.Engine, id NodeID, name string, nic *Port, delay sim.Time) *Host {
 	nic.SetOwner(id)
-	return &Host{id: id, name: name, eng: eng, nic: nic, delay: delay}
+	h := &Host{id: id, name: name, eng: eng, nic: nic, delay: delay}
+	h.sendFn = h.sendNext
+	return h
 }
 
 // NodeID implements Node.
@@ -40,20 +53,54 @@ func (h *Host) NIC() *Port { return h.nic }
 // this once per host.
 func (h *Host) SetHandler(fn func(*Packet)) { h.handler = fn }
 
+// NewPacket returns a zeroed packet for the caller to fill and Send. With
+// pooling enabled it reuses a recycled frame; otherwise it allocates.
+// Callers overwrite the whole struct (`*pkt = Packet{...}`), so the
+// literal style of non-pooled call sites carries over unchanged.
+func (h *Host) NewPacket() *Packet {
+	if h.pool != nil {
+		return h.pool.get()
+	}
+	return &Packet{}
+}
+
 // Send transmits a packet from this host after the host processing delay.
 func (h *Host) Send(pkt *Packet) {
 	pkt.Src = h.id
 	if h.delay > 0 {
-		h.eng.After(h.delay, func() { h.nic.Send(pkt) })
+		h.sendQ = append(h.sendQ, pkt)
+		h.eng.After(h.delay, h.sendFn)
 		return
 	}
 	h.nic.Send(pkt)
 }
 
-// Receive implements Node: deliver to the transport handler.
+// sendNext hands the oldest delayed frame to the NIC.
+func (h *Host) sendNext() {
+	pkt := h.sendQ[h.sendHead]
+	h.sendQ[h.sendHead] = nil
+	h.sendHead++
+	if h.sendHead >= len(h.sendQ) {
+		h.sendQ = h.sendQ[:0]
+		h.sendHead = 0
+	} else if h.sendHead > 64 && h.sendHead*2 > len(h.sendQ) {
+		n := copy(h.sendQ, h.sendQ[h.sendHead:])
+		for i := n; i < len(h.sendQ); i++ {
+			h.sendQ[i] = nil
+		}
+		h.sendQ = h.sendQ[:n]
+		h.sendHead = 0
+	}
+	h.nic.Send(pkt)
+}
+
+// Receive implements Node: deliver to the transport handler. With pooling
+// enabled the packet is recycled when the handler returns — handlers must
+// not retain it (see PacketPool).
 func (h *Host) Receive(pkt *Packet) {
 	h.RxPackets++
 	if h.handler != nil {
 		h.handler(pkt)
 	}
+	h.pool.put(pkt)
 }

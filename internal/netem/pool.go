@@ -1,0 +1,68 @@
+package netem
+
+// PacketPool is an opt-in free list for Packet structs, shared by every
+// node of one network (one engine drives one network from one goroutine,
+// so no locking is needed; parallel sweeps each build their own network
+// and therefore their own pool).
+//
+// Ownership contract when a pool is enabled:
+//
+//   - Endpoints allocate outgoing frames with Host.NewPacket and hand them
+//     to Host.Send. The network owns the packet from that point on.
+//   - A packet is recycled exactly once, at the end of its life: by
+//     Host.Receive after the transport handler returns, or by the dropping
+//     Port when admission fails.
+//   - Consumers — transport Handle callbacks and HopObservers — must not
+//     retain a *Packet (or its Meta) past the callback; copy what they
+//     need. All in-repo transports and observers obey this.
+//
+// Pooling never changes simulation results: packets are identical whether
+// they come from the pool or the heap (see TestGoldenDigestPooled).
+type PacketPool struct {
+	free []*Packet
+
+	// Recycled and Fresh count Put calls and pool misses (observability;
+	// a healthy steady state recycles nearly everything).
+	Recycled int64
+	Fresh    int64
+}
+
+// get returns a zeroed packet, reusing a recycled one when available.
+func (p *PacketPool) get() *Packet {
+	if n := len(p.free); n > 0 {
+		pkt := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		*pkt = Packet{}
+		return pkt
+	}
+	p.Fresh++
+	return &Packet{}
+}
+
+// put returns a consumed packet to the free list. Nil pools and nil
+// packets no-op, so call sites need no guards.
+func (p *PacketPool) put(pkt *Packet) {
+	if p == nil || pkt == nil {
+		return
+	}
+	pkt.Meta = nil // drop the payload reference so it can be collected
+	p.free = append(p.free, pkt)
+	p.Recycled++
+}
+
+// EnablePacketPool installs one shared packet free list on every host and
+// every egress port of the network. Call before the run starts.
+func (n *Network) EnablePacketPool() *PacketPool {
+	pool := &PacketPool{}
+	for _, s := range n.Switches {
+		for _, p := range s.Ports() {
+			p.pool = pool
+		}
+	}
+	for _, h := range n.Hosts {
+		h.pool = pool
+		h.nic.pool = pool
+	}
+	return pool
+}

@@ -82,6 +82,9 @@ type Port struct {
 
 	txDoneFn  func()
 	deliverFn func()
+	wakeFn    func() // pre-bound wake: one closure per port, not per pacing stall
+
+	pool *PacketPool // optional packet free list; drops recycle through it
 
 	lossRate float64
 	faults   FaultStats
@@ -130,6 +133,7 @@ func NewPort(eng *sim.Engine, name string, rate units.Rate, prop sim.Time, cfg P
 		p.kick()
 	}
 	p.deliverFn = p.deliverHead
+	p.wakeFn = p.wake
 	return p
 }
 
@@ -201,6 +205,7 @@ func (p *Port) Send(pkt *Packet) {
 		if p.hop != nil {
 			p.hop.HopDrop(p.eng.Now(), p, -1, pkt, DropFault)
 		}
+		p.pool.put(pkt)
 		return
 	}
 	qi := int(pkt.Class)
@@ -225,6 +230,7 @@ func (p *Port) Send(pkt *Packet) {
 		if p.hop != nil {
 			p.hop.HopDrop(p.eng.Now(), p, qi, pkt, DropRedThreshold)
 		}
+		p.pool.put(pkt)
 		return
 	}
 
@@ -236,6 +242,7 @@ func (p *Port) Send(pkt *Packet) {
 			if p.hop != nil {
 				p.hop.HopDrop(p.eng.Now(), p, qi, pkt, DropPrivateCap)
 			}
+			p.pool.put(pkt)
 			return
 		}
 	} else if p.shared != nil {
@@ -245,6 +252,7 @@ func (p *Port) Send(pkt *Packet) {
 			if p.hop != nil {
 				p.hop.HopDrop(p.eng.Now(), p, qi, pkt, DropSharedBuffer)
 			}
+			p.pool.put(pkt)
 			return
 		}
 		p.shared.used += sz
@@ -289,12 +297,7 @@ func (p *Port) kick() {
 	if pkt == nil {
 		if wait > 0 && (p.wakeAt == 0 || wait < p.wakeAt || p.wakeAt <= p.eng.Now()) {
 			p.wakeAt = wait
-			p.eng.At(wait, func() {
-				if p.wakeAt <= p.eng.Now() {
-					p.wakeAt = 0
-				}
-				p.kick()
-			})
+			p.eng.At(wait, p.wakeFn)
 		}
 		return
 	}
@@ -322,6 +325,14 @@ func (p *Port) kick() {
 	}
 	p.eng.After(tx, p.txDoneFn)
 	p.deliverAt(p.eng.Now()+tx+p.prop, pkt)
+}
+
+// wake fires when a rate-limited queue becomes eligible again.
+func (p *Port) wake() {
+	if p.wakeAt <= p.eng.Now() {
+		p.wakeAt = 0
+	}
+	p.kick()
 }
 
 // eligible reports whether q may dequeue right now.

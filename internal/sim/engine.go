@@ -6,7 +6,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -46,53 +45,42 @@ func (t Time) String() string {
 	}
 }
 
+// event is one scheduled callback. Events are owned by the engine and
+// recycled through a free list; gen distinguishes incarnations so a stale
+// Timer for a recycled event cannot cancel its successor.
 type event struct {
 	at  Time
 	seq uint64 // insertion order, breaks ties deterministically
 	fn  func()
-	idx int // heap index; -1 when cancelled or popped
+	gen uint64
+	idx int32 // heap index; -1 when not in the heap
 }
 
-// Timer is a handle to a scheduled event that can be cancelled.
-type Timer struct{ ev *event }
+// Timer is a handle to a scheduled event that can be cancelled. The zero
+// Timer is valid and Stop on it reports false.
+type Timer struct {
+	eng *Engine
+	ev  *event
+	gen uint64
+}
 
-// Stop cancels the timer. It reports whether the event had not yet fired
-// (and had not already been stopped).
+// Stop cancels the timer, removing the event from the schedule
+// immediately (it no longer counts toward Engine.Pending). It reports
+// whether the event had not yet fired and had not already been stopped.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.fn == nil {
+	if t == nil || t.ev == nil || t.ev.gen != t.gen {
 		return false
 	}
-	t.ev.fn = nil // engine skips events with nil fn
+	ev := t.ev
+	t.ev = nil
+	t.eng.remove(ev)
+	t.eng.recycle(ev)
 	return true
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*h = old[:n-1]
-	return ev
+// Pending reports whether the event is still scheduled.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && t.ev.gen == t.gen
 }
 
 // Engine is a single-threaded discrete-event scheduler.
@@ -101,7 +89,8 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  []*event // 4-ary min-heap ordered by (at, seq)
+	free    []*event // recycled events
 	rng     *rand.Rand
 	stopped bool
 
@@ -121,20 +110,42 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
+// alloc takes an event from the free list, or heap-allocates when empty.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{idx: -1}
+}
+
+// recycle returns a detached event to the free list. Bumping gen
+// invalidates every outstanding Timer for this incarnation.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a logic error in the caller.
-func (e *Engine) At(t Time, fn func()) *Timer {
+func (e *Engine) At(t Time, fn func()) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
-	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+	e.push(ev)
+	return Timer{eng: e, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current time.
-func (e *Engine) After(d Time, fn func()) *Timer {
+func (e *Engine) After(d Time, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -149,6 +160,8 @@ type Ticker struct {
 	eng     *Engine
 	period  Time
 	fn      func()
+	tickFn  func() // pre-bound t.tick, one closure for the ticker's lifetime
+	timer   Timer
 	stopped bool
 }
 
@@ -162,12 +175,13 @@ func (e *Engine) Every(period Time, fn func()) *Ticker {
 		panic(fmt.Sprintf("sim: Every period must be positive, got %v", period))
 	}
 	t := &Ticker{eng: e, period: period, fn: fn}
+	t.tickFn = t.tick
 	t.schedule()
 	return t
 }
 
 func (t *Ticker) schedule() {
-	t.eng.After(t.period, t.tick)
+	t.timer = t.eng.After(t.period, t.tickFn)
 }
 
 func (t *Ticker) tick() {
@@ -178,11 +192,14 @@ func (t *Ticker) tick() {
 	t.schedule()
 }
 
-// Stop cancels the ticker; the callback will not fire again.
+// Stop cancels the ticker; the callback will not fire again and the
+// pending event is removed from the schedule immediately.
 func (t *Ticker) Stop() {
-	if t != nil {
-		t.stopped = true
+	if t == nil {
+		return
 	}
+	t.stopped = true
+	t.timer.Stop()
 }
 
 // Run dispatches events in timestamp order until the queue empties, the
@@ -195,20 +212,124 @@ func (e *Engine) Run(until Time) {
 		if next.at > until {
 			break
 		}
-		heap.Pop(&e.events)
+		e.popMin()
 		e.now = next.at
-		if next.fn != nil {
-			fn := next.fn
-			next.fn = nil
-			e.Processed++
-			fn()
-		}
+		fn := next.fn
+		// Recycle before dispatch: a callback that schedules reuses this
+		// event immediately, keeping the working set hot.
+		e.recycle(next)
+		e.Processed++
+		fn()
 	}
 	if e.now < until {
 		e.now = until
 	}
 }
 
-// Pending reports the number of events still queued (including cancelled
-// placeholders that have not yet been popped).
+// Pending reports the number of events still scheduled. Stopped timers are
+// removed from the schedule immediately, so — unlike earlier revisions,
+// which counted cancelled placeholders until they were popped — this is an
+// exact live-event count.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// The schedule is a hand-rolled 4-ary min-heap over (at, seq). Compared to
+// container/heap this is monomorphic (no interface dispatch, no
+// Push(any)/Pop() boxing) and shallower (log4 vs log2 levels), which is
+// where the engine spends its time at fabric scale. Pop order — and
+// therefore simulation behaviour — depends only on the (at, seq) total
+// order, never on the internal array layout.
+
+func (e *Engine) less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(ev *event) {
+	ev.idx = int32(len(e.events))
+	e.events = append(e.events, ev)
+	e.siftUp(int(ev.idx))
+}
+
+// popMin removes and returns the heap root; caller guarantees non-empty.
+func (e *Engine) popMin() *event {
+	h := e.events
+	ev := h[0]
+	n := len(h) - 1
+	if n > 0 {
+		h[0] = h[n]
+		h[0].idx = 0
+	}
+	h[n] = nil
+	e.events = h[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
+	ev.idx = -1
+	return ev
+}
+
+// remove detaches an interior event (Timer.Stop) in O(log n).
+func (e *Engine) remove(ev *event) {
+	i := int(ev.idx)
+	h := e.events
+	n := len(h) - 1
+	if i != n {
+		h[i] = h[n]
+		h[i].idx = int32(i)
+	}
+	h[n] = nil
+	e.events = h[:n]
+	if i != n {
+		e.siftDown(i)
+		e.siftUp(i)
+	}
+	ev.idx = -1
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.events
+	ev := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !e.less(ev, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].idx = int32(i)
+		i = p
+	}
+	h[i] = ev
+	ev.idx = int32(i)
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.events
+	n := len(h)
+	ev := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !e.less(h[best], ev) {
+			break
+		}
+		h[i] = h[best]
+		h[i].idx = int32(i)
+		i = best
+	}
+	h[i] = ev
+	ev.idx = int32(i)
+}

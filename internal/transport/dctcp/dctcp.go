@@ -71,17 +71,21 @@ type Sender struct {
 	rtoPending   bool
 	recoverEdge  int
 	finished     bool
+
+	checkRTOFn func() // pre-bound checkRTO: one closure per flow, not per arm
 }
 
 // NewSender builds the send side; call Begin to start transmitting.
 func NewSender(eng *sim.Engine, flow *transport.Flow, cfg Config) *Sender {
-	return &Sender{
+	s := &Sender{
 		cfg:   cfg,
 		eng:   eng,
 		flow:  flow,
 		win:   NewWindow(cfg.InitCwnd),
 		state: make([]uint8, flow.Segs()),
 	}
+	s.checkRTOFn = s.checkRTO
+	return s
 }
 
 // Begin starts the flow (first window of packets).
@@ -127,7 +131,9 @@ func (s *Sender) transmit(seq int, retx bool) {
 		s.cfg.Stats.Retransmits.Inc()
 		s.cfg.Trace.Add(trace.Retransmit, s.flow.ID, int64(seq), "")
 	}
-	pkt := &netem.Packet{
+	host := s.flow.Src.Host
+	pkt := host.NewPacket()
+	*pkt = netem.Packet{
 		Kind:       s.cfg.DataKind,
 		Class:      s.cfg.DataClass,
 		Color:      s.cfg.Color,
@@ -139,7 +145,7 @@ func (s *Sender) transmit(seq int, retx bool) {
 		Size:       s.flow.SegWire(seq),
 		SentAt:     s.eng.Now(),
 	}
-	s.flow.Src.Host.Send(pkt)
+	host.Send(pkt)
 }
 
 func (s *Sender) rto() sim.Time {
@@ -166,7 +172,7 @@ func (s *Sender) armRTO() {
 		return
 	}
 	s.rtoPending = true
-	s.eng.After(s.rto(), s.checkRTO)
+	s.eng.After(s.rto(), s.checkRTOFn)
 }
 
 func (s *Sender) checkRTO() {
@@ -177,7 +183,7 @@ func (s *Sender) checkRTO() {
 	deadline := s.lastProgress + s.rto()
 	if now := s.eng.Now(); now < deadline {
 		s.rtoPending = true
-		s.eng.At(deadline, s.checkRTO)
+		s.eng.At(deadline, s.checkRTOFn)
 		return
 	}
 	s.onTimeout()
@@ -321,7 +327,9 @@ func (r *Receiver) Handle(pkt *netem.Packet) {
 	} else {
 		r.flow.RedundantSegs++
 	}
-	ack := &netem.Packet{
+	host := r.flow.Dst.Host
+	ack := host.NewPacket()
+	*ack = netem.Packet{
 		Kind:   r.cfg.AckKind,
 		Class:  r.cfg.AckClass,
 		Dst:    r.flow.Src.Host.NodeID(),
@@ -332,7 +340,7 @@ func (r *Receiver) Handle(pkt *netem.Packet) {
 		Size:   netem.AckSize,
 		SentAt: pkt.SentAt,
 	}
-	r.flow.Dst.Host.Send(ack)
+	host.Send(ack)
 	if r.received >= r.flow.Segs() && !r.flow.Completed {
 		r.flow.Complete(r.eng.Now())
 		r.cfg.Stats.Completed.Inc()

@@ -76,6 +76,8 @@ type Sender struct {
 	recoverBackoff uint
 	lastProgress   sim.Time
 	finished       bool
+
+	checkRecoveryFn func() // pre-bound checkRecovery: one closure per flow
 }
 
 // NewSender builds the send side; Begin issues the credit request.
@@ -89,6 +91,7 @@ func NewSender(eng *sim.Engine, flow *transport.Flow, cfg Config) *Sender {
 	if cfg.Layered {
 		s.win = dctcp.NewWindow(10)
 	}
+	s.checkRecoveryFn = s.checkRecovery
 	return s
 }
 
@@ -107,14 +110,17 @@ func (s *Sender) Finished() bool { return s.finished }
 // path (not the rate-limited credit queue), so synchronized flow starts do
 // not lose their requests to the tiny credit buffer.
 func (s *Sender) sendRequest() {
-	s.flow.Src.Host.Send(&netem.Packet{
+	host := s.flow.Src.Host
+	pkt := host.NewPacket()
+	*pkt = netem.Packet{
 		Kind:   netem.KindCreditReq,
 		Class:  s.cfg.AckClass,
 		Dst:    s.flow.Dst.Host.NodeID(),
 		Flow:   s.flow.ID,
 		Size:   netem.CtrlSize,
 		SentAt: s.eng.Now(),
-	})
+	}
+	host.Send(pkt)
 }
 
 // armRecovery refreshes the progress stamp; the pending timer re-checks
@@ -125,7 +131,7 @@ func (s *Sender) armRecovery() {
 		return
 	}
 	s.recoverPending = true
-	s.eng.After(s.cfg.MinRTO, s.checkRecovery)
+	s.eng.After(s.cfg.MinRTO, s.checkRecoveryFn)
 }
 
 func (s *Sender) checkRecovery() {
@@ -140,7 +146,7 @@ func (s *Sender) checkRecovery() {
 	deadline := s.lastProgress + s.cfg.MinRTO<<bo
 	if s.eng.Now() < deadline {
 		s.recoverPending = true
-		s.eng.At(deadline, s.checkRecovery)
+		s.eng.At(deadline, s.checkRecoveryFn)
 		return
 	}
 	s.onRecoveryTimeout()
@@ -201,7 +207,9 @@ func (s *Sender) transmit(seq int, retx bool, echo uint32) {
 		s.cfg.Stats.Retransmits.Inc()
 		s.cfg.Trace.Add(trace.Retransmit, s.flow.ID, int64(seq), "")
 	}
-	s.flow.Src.Host.Send(&netem.Packet{
+	host := s.flow.Src.Host
+	pkt := host.NewPacket()
+	*pkt = netem.Packet{
 		Kind:       netem.KindProData,
 		Class:      s.cfg.DataClass,
 		Color:      netem.Green,
@@ -213,7 +221,8 @@ func (s *Sender) transmit(seq int, retx bool, echo uint32) {
 		Echo:       echo,
 		Size:       s.flow.SegWire(seq),
 		SentAt:     s.eng.Now(),
-	})
+	}
+	host.Send(pkt)
 }
 
 // Handle processes credits and ACKs.
@@ -346,7 +355,9 @@ func (r *Receiver) Handle(pkt *netem.Packet) {
 		} else {
 			r.flow.RedundantSegs++
 		}
-		r.flow.Dst.Host.Send(&netem.Packet{
+		host := r.flow.Dst.Host
+		ack := host.NewPacket()
+		*ack = netem.Packet{
 			Kind:   netem.KindAckPro,
 			Class:  r.cfg.AckClass,
 			Dst:    r.flow.Src.Host.NodeID(),
@@ -356,7 +367,8 @@ func (r *Receiver) Handle(pkt *netem.Packet) {
 			CE:     pkt.CE,
 			Size:   netem.AckSize,
 			SentAt: pkt.SentAt,
-		})
+		}
+		host.Send(ack)
 		if r.received >= r.flow.Segs() && !r.flow.Completed {
 			r.pacer.Stop()
 			r.flow.Complete(r.eng.Now())

@@ -96,8 +96,10 @@ type Pacer struct {
 	lastEchoHi uint32 // echoHi at the previous feedback update
 
 	active      bool
-	creditTimer *sim.Timer
-	fbTimer     *sim.Timer
+	creditTimer sim.Timer
+	fbTimer     sim.Timer
+	creditFn    func() // pre-bound creditTick: one closure per pacer, not per credit
+	feedbackFn  func() // pre-bound feedback, same reason
 
 	// TotalCredits counts all credits ever sent (stats).
 	TotalCredits int
@@ -114,7 +116,7 @@ func NewPacer(eng *sim.Engine, host *netem.Host, dst netem.NodeID, flow uint64, 
 	if cfg.WInit == 0 {
 		cfg.WInit = 0.5
 	}
-	return &Pacer{
+	p := &Pacer{
 		cfg:  cfg,
 		eng:  eng,
 		host: host,
@@ -123,6 +125,9 @@ func NewPacer(eng *sim.Engine, host *netem.Host, dst netem.NodeID, flow uint64, 
 		rate: cfg.InitRate,
 		w:    cfg.WInit,
 	}
+	p.creditFn = p.creditTick
+	p.feedbackFn = p.feedback
+	return p
 }
 
 // Rate returns the current credit rate (for tests and stats).
@@ -138,20 +143,14 @@ func (p *Pacer) Start() {
 	}
 	p.active = true
 	p.scheduleCredit()
-	p.fbTimer = p.eng.After(p.cfg.Period, p.feedback)
+	p.fbTimer = p.eng.After(p.cfg.Period, p.feedbackFn)
 }
 
 // Stop halts credit generation (flow complete).
 func (p *Pacer) Stop() {
 	p.active = false
-	if p.creditTimer != nil {
-		p.creditTimer.Stop()
-		p.creditTimer = nil
-	}
-	if p.fbTimer != nil {
-		p.fbTimer.Stop()
-		p.fbTimer = nil
-	}
+	p.creditTimer.Stop()
+	p.fbTimer.Stop()
 }
 
 // OnData is called by the receiver for every credit-scheduled data
@@ -172,13 +171,15 @@ func (p *Pacer) interval() sim.Time {
 }
 
 func (p *Pacer) scheduleCredit() {
-	p.creditTimer = p.eng.After(p.interval(), func() {
-		if !p.active {
-			return
-		}
-		p.sendCredit()
-		p.scheduleCredit()
-	})
+	p.creditTimer = p.eng.After(p.interval(), p.creditFn)
+}
+
+func (p *Pacer) creditTick() {
+	if !p.active {
+		return
+	}
+	p.sendCredit()
+	p.scheduleCredit()
 }
 
 func (p *Pacer) sendCredit() {
@@ -186,7 +187,8 @@ func (p *Pacer) sendCredit() {
 	p.TotalCredits++
 	p.cfg.Issued.Inc()
 	p.cfg.Trace.Add(trace.CreditIssue, p.flow, int64(p.creditSeq), "")
-	p.host.Send(&netem.Packet{
+	pkt := p.host.NewPacket()
+	*pkt = netem.Packet{
 		Kind:   netem.KindCredit,
 		Class:  p.cfg.CreditClass,
 		Dst:    p.dst,
@@ -194,7 +196,8 @@ func (p *Pacer) sendCredit() {
 		SubSeq: p.creditSeq,
 		Size:   netem.CreditSize,
 		SentAt: p.eng.Now(),
-	})
+	}
+	p.host.Send(pkt)
 	p.creditSeq++
 }
 
@@ -204,7 +207,7 @@ func (p *Pacer) feedback() {
 		return
 	}
 	defer func() {
-		p.fbTimer = p.eng.After(p.cfg.Period, p.feedback)
+		p.fbTimer = p.eng.After(p.cfg.Period, p.feedbackFn)
 	}()
 	sent := p.sent
 	got := p.echoCount

@@ -153,6 +153,8 @@ type Sender struct {
 	recoverBackoff uint
 	lastProgress   sim.Time
 	finished       bool
+
+	checkRecoveryFn func() // pre-bound checkRecovery: one closure per flow
 }
 
 // NewSender builds the send side; Begin starts both sub-flows.
@@ -171,6 +173,7 @@ func NewSender(eng *sim.Engine, flow *transport.Flow, cfg Config) *Sender {
 	for i := range s.segReSub {
 		s.segReSub[i] = -1
 	}
+	s.checkRecoveryFn = s.checkRecovery
 	return s
 }
 
@@ -193,14 +196,17 @@ func (s *Sender) Cwnd() float64 { return s.win.Cwnd() }
 // queue as green packets, not in the rate-limited credit queue, so an
 // incast of flow starts cannot wipe them out.
 func (s *Sender) sendCreditRequest() {
-	s.flow.Src.Host.Send(&netem.Packet{
+	host := s.flow.Src.Host
+	pkt := host.NewPacket()
+	*pkt = netem.Packet{
 		Kind:   netem.KindCreditReq,
 		Class:  s.cfg.AckClass,
 		Dst:    s.flow.Dst.Host.NodeID(),
 		Flow:   s.flow.ID,
 		Size:   netem.CtrlSize,
 		SentAt: s.eng.Now(),
-	})
+	}
+	host.Send(pkt)
 }
 
 // armRecovery refreshes the progress stamp; the pending timer re-checks
@@ -211,7 +217,7 @@ func (s *Sender) armRecovery() {
 		return
 	}
 	s.recoverPending = true
-	s.eng.After(s.cfg.MinRTO, s.checkRecovery)
+	s.eng.After(s.cfg.MinRTO, s.checkRecoveryFn)
 }
 
 func (s *Sender) checkRecovery() {
@@ -226,7 +232,7 @@ func (s *Sender) checkRecovery() {
 	deadline := s.lastProgress + s.cfg.MinRTO<<bo
 	if s.eng.Now() < deadline {
 		s.recoverPending = true
-		s.eng.At(deadline, s.checkRecovery)
+		s.eng.At(deadline, s.checkRecoveryFn)
 		return
 	}
 	s.onRecoveryTimeout()
@@ -367,7 +373,9 @@ func (s *Sender) pumpReactive() {
 		s.segReSub[seg] = int32(sub)
 		s.reOutstanding++
 		s.st[seg] = stSentRe
-		s.flow.Src.Host.Send(&netem.Packet{
+		host := s.flow.Src.Host
+		pkt := host.NewPacket()
+		*pkt = netem.Packet{
 			Kind:       netem.KindReData,
 			Class:      s.cfg.ReClass,
 			Color:      netem.Red,
@@ -378,7 +386,8 @@ func (s *Sender) pumpReactive() {
 			SubSeq:     uint32(sub),
 			Size:       s.flow.SegWire(seg),
 			SentAt:     s.eng.Now(),
-		})
+		}
+		host.Send(pkt)
 	}
 }
 
@@ -466,7 +475,9 @@ func (s *Sender) sendProactive(seg int, echo uint32, proRetx, retx bool) {
 		s.flow.Retransmits++
 		s.cfg.Stats.Retransmits.Inc()
 	}
-	s.flow.Src.Host.Send(&netem.Packet{
+	host := s.flow.Src.Host
+	pkt := host.NewPacket()
+	*pkt = netem.Packet{
 		Kind:   netem.KindProData,
 		Class:  s.cfg.ProClass,
 		Color:  netem.Green,
@@ -477,7 +488,8 @@ func (s *Sender) sendProactive(seg int, echo uint32, proRetx, retx bool) {
 		Echo:   echo,
 		Size:   s.flow.SegWire(seg),
 		SentAt: s.eng.Now(),
-	})
+	}
+	host.Send(pkt)
 }
 
 // Handle processes credits and per-sub-flow ACKs.
@@ -752,7 +764,9 @@ func (r *Receiver) absorb(pkt *netem.Packet, proactive bool) {
 }
 
 func (r *Receiver) sendAck(kind netem.Kind, data *netem.Packet, cum uint32) {
-	r.flow.Dst.Host.Send(&netem.Packet{
+	host := r.flow.Dst.Host
+	ack := host.NewPacket()
+	*ack = netem.Packet{
 		Kind:   kind,
 		Class:  r.cfg.AckClass,
 		Dst:    r.flow.Src.Host.NodeID(),
@@ -762,7 +776,8 @@ func (r *Receiver) sendAck(kind netem.Kind, data *netem.Packet, cum uint32) {
 		CE:     data.CE,
 		Size:   netem.AckSize,
 		SentAt: data.SentAt,
-	})
+	}
+	host.Send(ack)
 }
 
 func (r *Receiver) checkComplete() {

@@ -91,7 +91,9 @@ func (s *Sender) sendSeg(class netem.Class) {
 	seq := s.next
 	s.next++
 	s.msgSent++
-	s.flow.Src.Host.Send(&netem.Packet{
+	host := s.flow.Src.Host
+	pkt := host.NewPacket()
+	*pkt = netem.Packet{
 		Kind:   netem.KindHomaData,
 		Class:  class,
 		Dst:    s.flow.Dst.Host.NodeID(),
@@ -100,7 +102,8 @@ func (s *Sender) sendSeg(class netem.Class) {
 		SubSeq: uint32(seq),
 		Size:   s.flow.SegWire(seq),
 		SentAt: s.eng.Now(),
-	})
+	}
+	host.Send(pkt)
 	if s.msgSent >= s.cfg.MsgSegs {
 		// Message boundary: the next message starts with a fresh
 		// unscheduled burst.
@@ -135,13 +138,16 @@ type Receiver struct {
 	flow *transport.Flow
 
 	granting bool
-	timer    *sim.Timer
+	timer    sim.Timer
+	grantFn  func() // pre-bound grantTick: one closure per receiver, not per grant
 	received int
 }
 
 // NewReceiver builds the receive side.
 func NewReceiver(eng *sim.Engine, flow *transport.Flow, cfg Config) *Receiver {
-	return &Receiver{cfg: cfg, eng: eng, flow: flow}
+	r := &Receiver{cfg: cfg, eng: eng, flow: flow}
+	r.grantFn = r.grantTick
+	return r
 }
 
 // Handle processes data arrivals and starts the grant clock.
@@ -168,32 +174,33 @@ func (r *Receiver) Handle(pkt *netem.Packet) {
 
 func (r *Receiver) stop() {
 	r.granting = false
-	if r.timer != nil {
-		r.timer.Stop()
-		r.timer = nil
-	}
+	r.timer.Stop()
 }
 
 // scheduleGrant paces one grant per full-size segment at GrantRate — the
 // full link capacity, with no co-existence awareness.
 func (r *Receiver) scheduleGrant() {
-	interval := r.cfg.GrantRate.TxTime(netem.MTUWire)
-	r.timer = r.eng.After(interval, func() {
-		if !r.granting {
-			return
-		}
-		r.cfg.Stats.CreditsIssued.Inc()
-		r.cfg.Trace.Add(trace.CreditIssue, r.flow.ID, int64(r.received), "grant")
-		r.flow.Dst.Host.Send(&netem.Packet{
-			Kind:   netem.KindHomaGrant,
-			Class:  r.cfg.GrantClass,
-			Dst:    r.flow.Src.Host.NodeID(),
-			Flow:   r.flow.ID,
-			Size:   netem.CtrlSize,
-			SentAt: r.eng.Now(),
-		})
-		r.scheduleGrant()
-	})
+	r.timer = r.eng.After(r.cfg.GrantRate.TxTime(netem.MTUWire), r.grantFn)
+}
+
+func (r *Receiver) grantTick() {
+	if !r.granting {
+		return
+	}
+	r.cfg.Stats.CreditsIssued.Inc()
+	r.cfg.Trace.Add(trace.CreditIssue, r.flow.ID, int64(r.received), "grant")
+	host := r.flow.Dst.Host
+	pkt := host.NewPacket()
+	*pkt = netem.Packet{
+		Kind:   netem.KindHomaGrant,
+		Class:  r.cfg.GrantClass,
+		Dst:    r.flow.Src.Host.NodeID(),
+		Flow:   r.flow.ID,
+		Size:   netem.CtrlSize,
+		SentAt: r.eng.Now(),
+	}
+	host.Send(pkt)
+	r.scheduleGrant()
 }
 
 // Start wires a Homa-lite pair and begins the flow.

@@ -85,7 +85,9 @@ func (s *FlexSource) demand() bool {
 func (s *FlexSource) sendToken() {
 	s.cfg.Stats.CreditsIssued.Inc()
 	s.cfg.Trace.Add(trace.CreditIssue, s.flow.ID, int64(s.seq), "token")
-	s.flow.Dst.Host.Send(&netem.Packet{
+	host := s.flow.Dst.Host
+	tok := host.NewPacket()
+	*tok = netem.Packet{
 		Kind:   netem.KindCredit,
 		Class:  s.cfg.TokenClass,
 		Dst:    s.flow.Src.Host.NodeID(),
@@ -93,6 +95,7 @@ func (s *FlexSource) sendToken() {
 		SubSeq: s.seq,
 		Size:   netem.CreditSize,
 		SentAt: s.eng.Now(),
-	})
+	}
+	host.Send(tok)
 	s.seq++
 }

@@ -80,13 +80,17 @@ type Arbiter struct {
 	// expiry can fire even with no arrivals.
 	poll sim.Time
 
+	tickFn func() // pre-bound tick: one closure per arbiter, not per token
+
 	// TokensSent counts all tokens emitted (stats).
 	TokensSent int64
 }
 
 // NewArbiter builds the token scheduler for a receiver host.
 func NewArbiter(eng *sim.Engine, host *netem.Host, downlink units.Rate) *Arbiter {
-	return &Arbiter{eng: eng, host: host, rate: downlink, poll: 200 * sim.Microsecond}
+	a := &Arbiter{eng: eng, host: host, rate: downlink, poll: 200 * sim.Microsecond}
+	a.tickFn = a.tick
+	return a
 }
 
 // register adds a flow to the rotation (idempotent).
@@ -109,10 +113,10 @@ func (a *Arbiter) wake() {
 	switch {
 	case a.anyDemand():
 		a.ticking = true
-		a.eng.After(a.rate.TxTime(netem.MTUWire), a.tick)
+		a.eng.After(a.rate.TxTime(netem.MTUWire), a.tickFn)
 	case a.anyIncomplete():
 		a.ticking = true
-		a.eng.After(a.poll, a.tick)
+		a.eng.After(a.poll, a.tickFn)
 	}
 }
 
@@ -190,11 +194,15 @@ type Sender struct {
 	recoverBackoff uint
 	lastProgress   sim.Time
 	finished       bool
+
+	checkRecoveryFn func() // pre-bound checkRecovery: one closure per flow
 }
 
 // NewSender builds the send side.
 func NewSender(eng *sim.Engine, flow *transport.Flow, cfg Config) *Sender {
-	return &Sender{cfg: cfg, eng: eng, flow: flow, state: make([]uint8, flow.Segs())}
+	s := &Sender{cfg: cfg, eng: eng, flow: flow, state: make([]uint8, flow.Segs())}
+	s.checkRecoveryFn = s.checkRecovery
+	return s
 }
 
 // Begin fires the free first-RTT window (which doubles as the request).
@@ -224,7 +232,9 @@ func (s *Sender) transmit(seq int, retx bool) {
 		s.cfg.Stats.Retransmits.Inc()
 		s.cfg.Trace.Add(trace.Retransmit, s.flow.ID, int64(seq), "")
 	}
-	s.flow.Src.Host.Send(&netem.Packet{
+	host := s.flow.Src.Host
+	pkt := host.NewPacket()
+	*pkt = netem.Packet{
 		Kind:   netem.KindProData,
 		Class:  s.cfg.DataClass,
 		Dst:    s.flow.Dst.Host.NodeID(),
@@ -233,7 +243,8 @@ func (s *Sender) transmit(seq int, retx bool) {
 		SubSeq: uint32(seq),
 		Size:   s.flow.SegWire(seq),
 		SentAt: s.eng.Now(),
-	})
+	}
+	host.Send(pkt)
 }
 
 func (s *Sender) armRecovery() {
@@ -242,7 +253,7 @@ func (s *Sender) armRecovery() {
 		return
 	}
 	s.recoverPending = true
-	s.eng.After(s.cfg.MinRTO, s.checkRecovery)
+	s.eng.After(s.cfg.MinRTO, s.checkRecoveryFn)
 }
 
 func (s *Sender) checkRecovery() {
@@ -257,7 +268,7 @@ func (s *Sender) checkRecovery() {
 	deadline := s.lastProgress + s.cfg.MinRTO<<bo
 	if s.eng.Now() < deadline {
 		s.recoverPending = true
-		s.eng.At(deadline, s.checkRecovery)
+		s.eng.At(deadline, s.checkRecoveryFn)
 		return
 	}
 	s.flow.Timeouts++
@@ -417,14 +428,17 @@ func (r *Receiver) sendToken() {
 	r.tokensSent++
 	r.cfg.Stats.CreditsIssued.Inc()
 	r.cfg.Trace.Add(trace.CreditIssue, r.flow.ID, int64(r.tokensSent), "token")
-	r.flow.Dst.Host.Send(&netem.Packet{
+	host := r.flow.Dst.Host
+	tok := host.NewPacket()
+	*tok = netem.Packet{
 		Kind:   netem.KindCredit,
 		Class:  r.cfg.TokenClass,
 		Dst:    r.flow.Src.Host.NodeID(),
 		Flow:   r.flow.ID,
 		Size:   netem.CtrlSize,
 		SentAt: r.eng.Now(),
-	})
+	}
+	host.Send(tok)
 }
 
 // Handle processes data packets.
@@ -446,7 +460,9 @@ func (r *Receiver) Handle(pkt *netem.Packet) {
 	} else {
 		r.flow.RedundantSegs++
 	}
-	r.flow.Dst.Host.Send(&netem.Packet{
+	host := r.flow.Dst.Host
+	ack := host.NewPacket()
+	*ack = netem.Packet{
 		Kind:   netem.KindAckPro,
 		Class:  r.cfg.AckClass,
 		Dst:    r.flow.Src.Host.NodeID(),
@@ -455,7 +471,8 @@ func (r *Receiver) Handle(pkt *netem.Packet) {
 		SubSeq: uint32(r.cum),
 		Size:   netem.AckSize,
 		SentAt: pkt.SentAt,
-	})
+	}
+	host.Send(ack)
 	if r.received >= r.flow.Segs() && !r.flow.Completed {
 		r.flow.Complete(r.eng.Now())
 		r.cfg.Stats.Completed.Inc()
