@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-sim bench-hot bench-baseline bench-compare forensics-demo clean
+.PHONY: all build vet test race race-core check bench bench-sim bench-hot bench-baseline bench-compare forensics-demo clean
 
 all: check
 
@@ -18,6 +18,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Focused race pass over the packages with shared mutable hot paths (the
+# engine, the network, and the transport stack incl. the scheme registry);
+# faster than the full -race sweep, used as a dedicated CI job.
+race-core:
+	$(GO) test -race ./internal/sim/... ./internal/netem/... ./internal/transport/...
 
 check: vet build race
 

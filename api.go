@@ -5,17 +5,11 @@ import (
 
 	"flexpass/internal/harness"
 	"flexpass/internal/metrics"
-	"flexpass/internal/netem"
 	"flexpass/internal/obs"
 	"flexpass/internal/sim"
 	"flexpass/internal/topo"
 	"flexpass/internal/transport"
-	"flexpass/internal/transport/dctcp"
-	"flexpass/internal/transport/expresspass"
-	flexpasstp "flexpass/internal/transport/flexpass"
-	"flexpass/internal/transport/homa"
-	"flexpass/internal/transport/layering"
-	"flexpass/internal/transport/phost"
+	_ "flexpass/internal/transport/schemes" // link the built-in schemes in
 	"flexpass/internal/units"
 	"flexpass/internal/workload"
 )
@@ -131,11 +125,12 @@ type Testbed struct {
 	Eng    *sim.Engine
 	Fabric *topo.Fabric
 
-	cfg      TestbedConfig
-	agents   []*transport.Agent
-	arbiters []*phost.Arbiter // lazily created per host, for "phost" flows
-	nextID   uint64
-	flows    []*Flow
+	cfg     TestbedConfig
+	agents  []*transport.Agent
+	env     *transport.SchemeEnv
+	schemes map[string]transport.Scheme // lazily built per transport name
+	nextID  uint64
+	flows   []*Flow
 }
 
 // NewTestbed builds a testbed.
@@ -178,16 +173,14 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 	for i := 0; i < cfg.Hosts; i++ {
 		tb.agents = append(tb.agents, transport.NewAgent(eng, fab.Net.Host(i)))
 	}
-	tb.arbiters = make([]*phost.Arbiter, cfg.Hosts)
-	return tb
-}
-
-// arbiter returns host i's pHost token arbiter, creating it on first use.
-func (tb *Testbed) arbiter(i int) *phost.Arbiter {
-	if tb.arbiters[i] == nil {
-		tb.arbiters[i] = phost.NewArbiter(tb.Eng, tb.Fabric.Net.Host(i), tb.cfg.LinkRate)
+	tb.env = &transport.SchemeEnv{
+		Eng:      eng,
+		LinkRate: cfg.LinkRate,
+		WQ:       cfg.WQ,
+		Spec:     spec,
 	}
-	return tb.arbiters[i]
+	tb.schemes = make(map[string]transport.Scheme)
+	return tb
 }
 
 // SetLossRate injects random non-congestion loss on the switch egress
@@ -202,8 +195,9 @@ func (tb *Testbed) SetLossRate(dst int, rate float64, reverse bool) {
 }
 
 // StartFlow begins a flow of size bytes from host src to host dst using
-// the named transport: "flexpass", "dctcp", "expresspass", "layering", or
-// "homa". The returned Flow exposes live statistics (RxBytes, FCT, ...).
+// the named transport — any name in the scheme registry: "flexpass",
+// "dctcp", "expresspass", "layering", "homa", "phost", ... The returned
+// Flow exposes live statistics (RxBytes, FCT, ...).
 func (tb *Testbed) StartFlow(transportName string, src, dst int, size int64) *Flow {
 	fl := tb.newFlow(transportName, src, dst, size, tb.Eng.Now())
 	tb.startNow(fl)
@@ -226,46 +220,25 @@ func (tb *Testbed) newFlow(transportName string, src, dst int, size int64, at Ti
 		Size:      size,
 		Start:     at,
 		Transport: transportName,
-		Legacy:    transportName == "dctcp",
+		Legacy:    transportName == transport.SchemeDCTCP,
 	}
 	tb.flows = append(tb.flows, fl)
 	return fl
 }
 
 func (tb *Testbed) startNow(fl *Flow) {
-	rate := tb.cfg.LinkRate
-	switch fl.Transport {
-	case "flexpass":
-		flexpasstp.Start(tb.Eng, fl, flexpasstp.DefaultConfig(
-			expresspass.DefaultPacerConfig(netem.CreditRateFor(rate, tb.cfg.WQ))))
-	case "dctcp":
-		dctcp.Start(tb.Eng, fl, dctcp.LegacyConfig())
-	case "expresspass":
-		expresspass.Start(tb.Eng, fl, expresspass.DefaultConfig(
-			expresspass.DefaultPacerConfig(netem.CreditRateFor(rate, 1.0))))
-	case "layering":
-		layering.Start(tb.Eng, fl, expresspass.DefaultPacerConfig(netem.CreditRateFor(rate, 1.0)))
-	case "homa":
-		// The testbed uses the FlexPass queue layout, so remap Homa's
-		// classes away from the tiny rate-limited credit queue: data in
-		// Q1, grants in Q1, nothing in Q0. (Homa-lite has no loss
-		// recovery; it is a throughput baseline.)
-		cfg := homa.DefaultConfig(rate)
-		cfg.UnschedClass = netem.ClassFlex
-		cfg.SchedClass = netem.ClassLegacy
-		cfg.GrantClass = netem.ClassFlex
-		homa.Start(tb.Eng, fl, cfg)
-	case "phost":
-		dstIdx := -1
-		for i, a := range tb.agents {
-			if a == fl.Dst {
-				dstIdx = i
-			}
+	// Schemes are memoized under the name the flow was started with
+	// ("naive" and "expresspass" resolve to distinct instances of the same
+	// transport; each keeps its own pHost-style per-run state).
+	sch := tb.schemes[fl.Transport]
+	if sch == nil {
+		var err error
+		if sch, err = transport.NewScheme(fl.Transport, tb.env); err != nil {
+			panic(fmt.Sprintf("flexpass: unknown transport %q", fl.Transport))
 		}
-		phost.Start(tb.Eng, fl, tb.arbiter(dstIdx), phost.DefaultConfig())
-	default:
-		panic(fmt.Sprintf("flexpass: unknown transport %q", fl.Transport))
+		tb.schemes[fl.Transport] = sch
 	}
+	sch.Start(fl)
 }
 
 // Run advances the simulation until the given absolute time.

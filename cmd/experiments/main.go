@@ -31,6 +31,8 @@ var (
 	seed      = flag.Int64("seed", 1, "random seed")
 	seedsN    = flag.Int("seeds", 1, "pool each deployment point over this many seeds")
 	durMS     = flag.Float64("dur", 0, "override flow arrival window (milliseconds)")
+	scheme    = flag.String("scheme", "", "override the scheme for -telemetry-out/-forensics-out runs (any registered name, e.g. flexpass, naive, owf)")
+	schemeOpt = flag.String("scheme-opt", "", "per-scheme options for -telemetry-out/-forensics-out runs, comma-separated key=value pairs")
 	telOut    = flag.String("telemetry-out", "", "run the base scenario instrumented and write its JSONL run artifact here (skips the figure sweeps)")
 	traceRing = flag.Int("trace-ring", 0, "transport trace ring capacity for -telemetry-out runs")
 	forOut    = flag.String("forensics-out", "", "run the base scenario with the forensic plane and write its artifact here (skips the figure sweeps)")
@@ -83,6 +85,19 @@ func main() {
 		sc := base
 		sc.SampleQueues = true
 		sc.Telemetry = &obs.Options{TraceCap: *traceRing}
+		if *scheme != "" {
+			sc.Scheme = harness.Scheme(*scheme)
+		}
+		if *schemeOpt != "" {
+			sc.SchemeOptions = make(map[string]string)
+			for _, kv := range strings.Split(*schemeOpt, ",") {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok || k == "" {
+					fatal(fmt.Errorf("bad -scheme-opt entry %q (want key=value)", kv))
+				}
+				sc.SchemeOptions[k] = v
+			}
+		}
 		if *forOut != "" {
 			fo := &forensics.Options{}
 			for _, s := range strings.Split(*traceFlow, ",") {

@@ -19,13 +19,16 @@ import (
 	"flexpass/internal/metrics"
 	"flexpass/internal/obs"
 	"flexpass/internal/sim"
+	"flexpass/internal/transport"
 	"flexpass/internal/units"
 	"flexpass/internal/workload"
 )
 
 func main() {
 	var (
-		scheme     = flag.String("scheme", "flexpass", "deployment scheme: naive, owf, layering, flexpass, flexpass-altq, flexpass-rc3")
+		scheme = flag.String("scheme", transport.SchemeFlexPass,
+			"deployment scheme, one of: "+strings.Join(transport.SchemeNames(), ", "))
+		schemeOpts = flag.String("scheme-opt", "", "per-scheme options as comma-separated key=value pairs (e.g. reactive=reno,disable_proretx=1)")
 		deployment = flag.Float64("deployment", 0.5, "fraction of FlexPass/ExpressPass-enabled racks")
 		load       = flag.Float64("load", 0.5, "target core (ToR uplink) utilization")
 		wl         = flag.String("workload", "websearch", "flow size distribution: websearch, cachefollower, datamining, hadoop")
@@ -46,6 +49,16 @@ func main() {
 	)
 	flag.Parse()
 
+	names := transport.SchemeNames()
+	known := false
+	for _, n := range names {
+		known = known || n == *scheme
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "unknown scheme %q (registered: %s)\n", *scheme, strings.Join(names, ", "))
+		os.Exit(1)
+	}
+
 	sc := harness.BaseScenario(*full)
 	sc.Scheme = harness.Scheme(*scheme)
 	sc.Deployment = *deployment
@@ -56,6 +69,17 @@ func main() {
 	sc.IncastFraction = *incast
 	sc.SampleQueues = *queues
 	sc.PoolPackets = *poolPkts
+	if *schemeOpts != "" {
+		sc.SchemeOptions = make(map[string]string)
+		for _, kv := range strings.Split(*schemeOpts, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok || k == "" {
+				fmt.Fprintf(os.Stderr, "bad -scheme-opt entry %q (want key=value)\n", kv)
+				os.Exit(1)
+			}
+			sc.SchemeOptions[k] = v
+		}
+	}
 	sc.Workload = workload.ByName(*wl)
 	if sc.Workload == nil {
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)

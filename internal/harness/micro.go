@@ -70,8 +70,8 @@ func Fig1a(seed int64, dur sim.Time) *ThroughputSeries {
 	eng := sim.NewEngine(seed)
 	fab := topo.Dumbbell(eng, 2, 2, 10*units.Gbps, testbedParams(topo.NaiveProfile(TestbedSpec())))
 	ag := agentsFor(fab)
-	xp := &transport.Flow{ID: 1, Src: ag[0], Dst: ag[2], Size: 1 << 31, Transport: "expresspass"}
-	dc := &transport.Flow{ID: 2, Src: ag[1], Dst: ag[3], Size: 1 << 31, Transport: "dctcp", Legacy: true}
+	xp := &transport.Flow{ID: 1, Src: ag[0], Dst: ag[2], Size: 1 << 31, Transport: transport.SchemeExpressPass}
+	dc := &transport.Flow{ID: 2, Src: ag[1], Dst: ag[3], Size: 1 << 31, Transport: transport.SchemeDCTCP, Legacy: true}
 	expresspass.Start(eng, xp, expresspass.DefaultConfig(
 		expresspass.DefaultPacerConfig(netem.CreditRateFor(10*units.Gbps, 1.0))))
 	dctcp.Start(eng, dc, dctcp.LegacyConfig())
@@ -93,13 +93,13 @@ func Fig1b(seed int64, dur sim.Time) *ThroughputSeries {
 	var homaFlows, dcFlows []*transport.Flow
 	id := uint64(1)
 	for i := 0; i < 16; i++ {
-		fl := &transport.Flow{ID: id, Src: ag[i], Dst: ag[32+i], Size: 1 << 31, Transport: "homa"}
+		fl := &transport.Flow{ID: id, Src: ag[i], Dst: ag[32+i], Size: 1 << 31, Transport: transport.SchemeHoma}
 		homaFlows = append(homaFlows, fl)
 		homa.Start(eng, fl, homa.DefaultConfig(10*units.Gbps))
 		id++
 	}
 	for i := 16; i < 32; i++ {
-		fl := &transport.Flow{ID: id, Src: ag[i], Dst: ag[32+i], Size: 1 << 31, Transport: "dctcp", Legacy: true}
+		fl := &transport.Flow{ID: id, Src: ag[i], Dst: ag[32+i], Size: 1 << 31, Transport: transport.SchemeDCTCP, Legacy: true}
 		dcFlows = append(dcFlows, fl)
 		dctcp.Start(eng, fl, dctcp.LegacyConfig())
 		id++
@@ -134,7 +134,7 @@ func Fig7(variant string, seed int64, dur sim.Time) *ThroughputSeries {
 	groups := map[string]func() int64{}
 	var order []string
 	newFP := func(id uint64, src int) *transport.Flow {
-		fl := &transport.Flow{ID: id, Src: ag[src], Dst: ag[2], Size: 1 << 31, Transport: "flexpass"}
+		fl := &transport.Flow{ID: id, Src: ag[src], Dst: ag[2], Size: 1 << 31, Transport: transport.SchemeFlexPass}
 		flexpass.Start(eng, fl, fpCfg)
 		return fl
 	}
@@ -153,7 +153,7 @@ func Fig7(variant string, seed int64, dur sim.Time) *ThroughputSeries {
 		groups["Flow2"] = func() int64 { return f2.RxBytes }
 	case "c":
 		fp := newFP(1, 0)
-		dc := &transport.Flow{ID: 2, Src: ag[1], Dst: ag[2], Size: 1 << 31, Transport: "dctcp", Legacy: true}
+		dc := &transport.Flow{ID: 2, Src: ag[1], Dst: ag[2], Size: 1 << 31, Transport: transport.SchemeDCTCP, Legacy: true}
 		dctcp.Start(eng, dc, dctcp.LegacyConfig())
 		order = []string{"DCTCP", "Proactive", "Reactive"}
 		groups["DCTCP"] = func() int64 { return dc.RxBytes }
@@ -185,8 +185,8 @@ func Fig9(seed int64, dur sim.Time) *Fig9Result {
 	engA := sim.NewEngine(seed)
 	fabA := topo.SingleSwitch(engA, 3, testbedParams(topo.NaiveProfile(TestbedSpec())))
 	agA := agentsFor(fabA)
-	xp := &transport.Flow{ID: 1, Src: agA[0], Dst: agA[2], Size: 1 << 31, Transport: "expresspass"}
-	dcA := &transport.Flow{ID: 2, Src: agA[1], Dst: agA[2], Size: 1 << 31, Transport: "dctcp", Legacy: true}
+	xp := &transport.Flow{ID: 1, Src: agA[0], Dst: agA[2], Size: 1 << 31, Transport: transport.SchemeExpressPass}
+	dcA := &transport.Flow{ID: 2, Src: agA[1], Dst: agA[2], Size: 1 << 31, Transport: transport.SchemeDCTCP, Legacy: true}
 	expresspass.Start(engA, xp, expresspass.DefaultConfig(
 		expresspass.DefaultPacerConfig(netem.CreditRateFor(10*units.Gbps, 1.0))))
 	dctcp.Start(engA, dcA, dctcp.LegacyConfig())
@@ -201,8 +201,8 @@ func Fig9(seed int64, dur sim.Time) *Fig9Result {
 	engB := sim.NewEngine(seed)
 	fabB := topo.SingleSwitch(engB, 3, testbedParams(topo.FlexPassProfile(TestbedSpec())))
 	agB := agentsFor(fabB)
-	fp := &transport.Flow{ID: 1, Src: agB[0], Dst: agB[2], Size: 1 << 31, Transport: "flexpass"}
-	dcB := &transport.Flow{ID: 2, Src: agB[1], Dst: agB[2], Size: 1 << 31, Transport: "dctcp", Legacy: true}
+	fp := &transport.Flow{ID: 1, Src: agB[0], Dst: agB[2], Size: 1 << 31, Transport: transport.SchemeFlexPass}
+	dcB := &transport.Flow{ID: 2, Src: agB[1], Dst: agB[2], Size: 1 << 31, Transport: transport.SchemeDCTCP, Legacy: true}
 	flexpass.Start(engB, fp, flexpass.DefaultConfig(
 		expresspass.DefaultPacerConfig(netem.CreditRateFor(10*units.Gbps, 0.5))))
 	dctcp.Start(engB, dcB, dctcp.LegacyConfig())
@@ -238,7 +238,7 @@ type Fig8Row struct {
 func Fig8(flowCounts []int, seeds []int64) []Fig8Row {
 	var rows []Fig8Row
 	for _, n := range flowCounts {
-		for _, tp := range []string{"dctcp", "expresspass", "flexpass"} {
+		for _, tp := range []string{transport.SchemeDCTCP, transport.SchemeExpressPass, transport.SchemeFlexPass} {
 			var worst sim.Time
 			timeouts := 0
 			for _, seed := range seeds {
@@ -256,19 +256,15 @@ func Fig8(flowCounts []int, seeds []int64) []Fig8Row {
 
 func runIncastOnce(tp string, n int, seed int64) (maxFCT sim.Time, timeouts int) {
 	eng := sim.NewEngine(seed)
-	var profile topo.PortProfile
-	switch tp {
-	case "dctcp":
-		profile = topo.PlainProfile(60 * units.KB)
-	case "expresspass":
-		profile = topo.NaiveProfile(TestbedSpec())
-	case "flexpass":
-		profile = topo.FlexPassProfile(TestbedSpec())
+	env := &transport.SchemeEnv{
+		Eng:      eng,
+		LinkRate: 10 * units.Gbps,
+		WQ:       0.5,
+		Spec:     TestbedSpec(),
 	}
-	fab := topo.SingleSwitch(eng, 9, testbedParams(profile))
+	sch := mustScheme(tp, env)
+	fab := topo.SingleSwitch(eng, 9, testbedParams(sch.Profile()))
 	ag := agentsFor(fab)
-	xpCfg := expresspass.DefaultConfig(expresspass.DefaultPacerConfig(netem.CreditRateFor(10*units.Gbps, 1.0)))
-	fpCfg := flexpass.DefaultConfig(expresspass.DefaultPacerConfig(netem.CreditRateFor(10*units.Gbps, 0.5)))
 	var flows []*transport.Flow
 	for i := 0; i < n; i++ {
 		fl := &transport.Flow{
@@ -284,16 +280,7 @@ func runIncastOnce(tp string, n int, seed int64) (maxFCT sim.Time, timeouts int)
 		flows = append(flows, fl)
 		start := fl.Start
 		fl2 := fl
-		eng.At(start, func() {
-			switch tp {
-			case "dctcp":
-				dctcp.Start(eng, fl2, dctcp.LegacyConfig())
-			case "expresspass":
-				expresspass.Start(eng, fl2, xpCfg)
-			case "flexpass":
-				flexpass.Start(eng, fl2, fpCfg)
-			}
-		})
+		eng.At(start, func() { sch.Start(fl2) })
 	}
 	eng.Run(2 * sim.Second)
 	for _, fl := range flows {

@@ -18,10 +18,7 @@ import (
 	"flexpass/internal/topo"
 	"flexpass/internal/trace"
 	"flexpass/internal/transport"
-	"flexpass/internal/transport/dctcp"
-	"flexpass/internal/transport/expresspass"
-	"flexpass/internal/transport/flexpass"
-	"flexpass/internal/transport/layering"
+	_ "flexpass/internal/transport/schemes" // link the built-in schemes in
 	"flexpass/internal/units"
 	"flexpass/internal/workload"
 )
@@ -29,14 +26,15 @@ import (
 // Scheme is a deployment strategy from §6.2.
 type Scheme string
 
-// The compared schemes.
+// The compared schemes. Any name registered with transport.RegisterScheme
+// is accepted; these are the ones the paper's figures sweep.
 const (
-	SchemeNaive        Scheme = "naive"         // ExpressPass sharing the legacy queue, full-rate credits
-	SchemeOWF          Scheme = "owf"           // oracle weighted fair queueing
-	SchemeLayering     Scheme = "layering"      // LY: window-gated ExpressPass in the shared queue
-	SchemeFlexPass     Scheme = "flexpass"      // the paper's design
-	SchemeFlexPassAltQ Scheme = "flexpass-altq" // §4.3 ablation: reactive sub-flow in Q2
-	SchemeFlexPassRC3  Scheme = "flexpass-rc3"  // §4.3 ablation: RC3-style flow splitting
+	SchemeNaive        Scheme = transport.SchemeNaive        // ExpressPass sharing the legacy queue, full-rate credits
+	SchemeOWF          Scheme = transport.SchemeOWF          // oracle weighted fair queueing
+	SchemeLayering     Scheme = transport.SchemeLayering     // LY: window-gated ExpressPass in the shared queue
+	SchemeFlexPass     Scheme = transport.SchemeFlexPass     // the paper's design
+	SchemeFlexPassAltQ Scheme = transport.SchemeFlexPassAltQ // §4.3 ablation: reactive sub-flow in Q2
+	SchemeFlexPassRC3  Scheme = transport.SchemeFlexPassRC3  // §4.3 ablation: RC3-style flow splitting
 )
 
 // Schemes lists the four §6.2 deployment schemes in paper order.
@@ -92,7 +90,12 @@ type Scenario struct {
 
 	// Reactive selects FlexPass's reactive-sub-flow algorithm ("" = the
 	// paper's DCTCP; "reno" = the §4.3 loss-based extension).
-	Reactive flexpass.ReactiveCC
+	Reactive string
+
+	// SchemeOptions carries additional per-scheme parameters by option
+	// key (see the transport.Opt* constants). The typed knobs above are
+	// folded in on top and win on conflict.
+	SchemeOptions map[string]string
 
 	// TraceFlows, when non-nil, replaces the generated workload entirely
 	// (replay of an exported or external trace). Host indices must be
@@ -171,6 +174,32 @@ type Result struct {
 // (cmd/flexsim -dump-trace) replay identically.
 func WorkloadRand(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed*7919 + 17))
+}
+
+// schemeOptions folds the typed scenario knobs into the option map handed
+// to the scheme factory, on top of any caller-provided SchemeOptions.
+func (sc *Scenario) schemeOptions() map[string]string {
+	opts := make(map[string]string, len(sc.SchemeOptions)+2)
+	for k, v := range sc.SchemeOptions {
+		opts[k] = v
+	}
+	if sc.DisableProRetx {
+		opts[transport.OptDisableProRetx] = "1"
+	}
+	if sc.Reactive != "" {
+		opts[transport.OptReactive] = sc.Reactive
+	}
+	return opts
+}
+
+// mustScheme builds a registered scheme or panics: by the time Run is
+// invoked the scheme name is part of the scenario contract.
+func mustScheme(name string, env *transport.SchemeEnv) transport.Scheme {
+	s, err := transport.NewScheme(name, env)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	return s
 }
 
 // rackAssignment computes host→rack without building the fabric.
@@ -264,40 +293,43 @@ func Run(sc Scenario) *Result {
 		oracleWQ = 0.98
 	}
 
-	// Build the fabric with the scheme's queue profile.
+	// Compose the transports from the scheme registry. The legacy side is
+	// always DCTCP; the upgraded side is whatever sc.Scheme names. Both
+	// share one env, so counter sets are memoized per transport label and
+	// the fabric is built with the active scheme's queue profile.
 	spec := sc.Spec
 	spec.WQ = sc.WQ
-	var profile topo.PortProfile
-	switch sc.Scheme {
-	case SchemeNaive:
-		profile = topo.NaiveProfile(spec)
-	case SchemeOWF:
-		ospec := spec
-		ospec.WQ = oracleWQ
-		profile = topo.OWFProfile(ospec)
-	case SchemeLayering:
-		profile = topo.LayeringProfile(spec)
-	case SchemeFlexPass, SchemeFlexPassRC3:
-		profile = topo.FlexPassProfile(spec)
-	case SchemeFlexPassAltQ:
-		profile = topo.AltQueueProfile(spec)
-	default:
-		panic(fmt.Sprintf("harness: unknown scheme %q", sc.Scheme))
+	env := &transport.SchemeEnv{
+		Eng:      eng,
+		LinkRate: sc.LinkRate,
+		WQ:       sc.WQ,
+		OracleWQ: oracleWQ,
+		Spec:     spec,
+		Registry: reg,
+		Trace:    ring,
+		Options:  sc.schemeOptions(),
 	}
+	legacy := mustScheme(transport.SchemeDCTCP, env)
+	active := mustScheme(string(sc.Scheme), env)
 	fab := topo.Clos(eng, sc.Clos, topo.Params{
 		LinkRate:  sc.LinkRate,
 		LinkDelay: sc.LinkDelay,
 		HostDelay: sc.HostDelay,
 		SwitchBuf: sc.SwitchBuf,
 		BufAlpha:  sc.BufAlpha,
-		Profile:   profile,
+		Profile:   active.Profile(),
 	})
 	if sc.PoolPackets {
 		fab.Net.EnablePacketPool()
 	}
 	agents := make([]*transport.Agent, hosts)
+	var strays *obs.Counter
+	if reg != nil {
+		strays = reg.Counter("transport/agent", "stray_packets")
+	}
 	for i := range agents {
 		agents[i] = transport.NewAgent(eng, fab.Net.Host(i))
+		agents[i].ObserveStrays(strays)
 	}
 	fab.Net.Register(reg)
 
@@ -308,41 +340,6 @@ func Run(sc Scenario) *Result {
 	}
 
 	res := &Result{Scenario: sc, OracleWQ: oracleWQ}
-
-	// Per-flow transport configs (built once, reused).
-	legacyCfg := dctcp.LegacyConfig()
-	fullPacer := expresspass.DefaultPacerConfig(netem.CreditRateFor(sc.LinkRate, 1.0))
-	owfPacer := expresspass.DefaultPacerConfig(netem.CreditRateFor(sc.LinkRate, oracleWQ))
-	flexPacer := expresspass.DefaultPacerConfig(netem.CreditRateFor(sc.LinkRate, sc.WQ))
-	xpCfg := expresspass.DefaultConfig(fullPacer)
-	owfCfg := expresspass.DefaultConfig(owfPacer)
-	lyCfg := layering.Config(fullPacer)
-	fpCfg := flexpass.DefaultConfig(flexPacer)
-	fpCfg.DisableProRetx = sc.DisableProRetx
-	fpCfg.Reactive = sc.Reactive
-
-	// Telemetry hookup: one counter set per transport label, one shared
-	// trace ring. With telemetry off these are zero values and free.
-	legacyCfg.Stats = transport.NewCounters(reg, "dctcp")
-	legacyCfg.Trace = ring
-	xpStats := transport.NewCounters(reg, "expresspass")
-	xpCfg.Stats, owfCfg.Stats = xpStats, xpStats
-	xpCfg.Trace, owfCfg.Trace = ring, ring
-	lyCfg.Stats = transport.NewCounters(reg, "layering")
-	lyCfg.Trace = ring
-	fpCfg.Stats = transport.NewCounters(reg, "flexpass")
-	fpCfg.Trace = ring
-	// Credit-issue accounting at the pacers (naive and oWF share the
-	// expresspass counter set, matching the Stats hookup above).
-	xpCfg.Pacer.Trace, xpCfg.Pacer.Issued = ring, xpStats.CreditsIssued
-	owfCfg.Pacer.Trace, owfCfg.Pacer.Issued = ring, xpStats.CreditsIssued
-	lyCfg.Pacer.Trace, lyCfg.Pacer.Issued = ring, lyCfg.Stats.CreditsIssued
-	fpCfg.Pacer.Trace, fpCfg.Pacer.Issued = ring, fpCfg.Stats.CreditsIssued
-
-	altqCfg := fpCfg
-	altqCfg.ReClass = netem.ClassLegacy
-	rc3Cfg := fpCfg
-	rc3Cfg.RC3Split = true
 
 	var all []*transport.Flow
 	incastOf := make(map[uint64]bool)
@@ -364,31 +361,10 @@ func Run(sc Scenario) *Result {
 				incastOf[id] = true
 			}
 			if !upgraded(spec) {
-				fl.Transport = "dctcp"
-				fl.Legacy = true
-				dctcp.Start(eng, fl, legacyCfg)
+				legacy.Start(fl)
 				return
 			}
-			switch sc.Scheme {
-			case SchemeNaive:
-				fl.Transport = "expresspass"
-				expresspass.Start(eng, fl, xpCfg)
-			case SchemeOWF:
-				fl.Transport = "expresspass"
-				expresspass.Start(eng, fl, owfCfg)
-			case SchemeLayering:
-				fl.Transport = "layering"
-				expresspass.Start(eng, fl, lyCfg)
-			case SchemeFlexPass:
-				fl.Transport = "flexpass"
-				flexpass.Start(eng, fl, fpCfg)
-			case SchemeFlexPassAltQ:
-				fl.Transport = "flexpass"
-				flexpass.Start(eng, fl, altqCfg)
-			case SchemeFlexPassRC3:
-				fl.Transport = "flexpass"
-				flexpass.Start(eng, fl, rc3Cfg)
-			}
+			active.Start(fl)
 		})
 	}
 
@@ -400,14 +376,18 @@ func Run(sc Scenario) *Result {
 	var aud *forensics.Auditor
 	if sc.Forensics != nil {
 		issued := func() int64 {
-			return xpStats.CreditsIssued.Value() +
-				lyCfg.Stats.CreditsIssued.Value() +
-				fpCfg.Stats.CreditsIssued.Value()
+			var n int64
+			env.EachCounters(func(_ string, c transport.Counters) {
+				n += c.CreditsIssued.Value()
+			})
+			return n
 		}
 		consumed := func() int64 {
-			return xpStats.CreditsGranted.Value() +
-				lyCfg.Stats.CreditsGranted.Value() +
-				fpCfg.Stats.CreditsGranted.Value()
+			var n int64
+			env.EachCounters(func(_ string, c transport.Counters) {
+				n += c.CreditsGranted.Value()
+			})
+			return n
 		}
 		creditDrops := func() int64 {
 			var n int64

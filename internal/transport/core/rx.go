@@ -1,0 +1,93 @@
+package core
+
+import (
+	"flexpass/internal/netem"
+	"flexpass/internal/sim"
+	"flexpass/internal/trace"
+	"flexpass/internal/transport"
+)
+
+// Reassembly is the receive-side segment ledger shared by the transports:
+// arrival dedup, cumulative edge tracking, and delivery accounting.
+type Reassembly struct {
+	got      []bool
+	Cum      int
+	Received int
+}
+
+// NewReassembly builds a ledger for segs segments.
+func NewReassembly(segs int) Reassembly {
+	return Reassembly{got: make([]bool, segs)}
+}
+
+// Deliver absorbs segment seq for fl: a new segment is credited to the
+// flow's and the transport's receive accounting and advances the
+// cumulative edge (returning true); duplicates and out-of-range arrivals
+// count as redundant (returning false).
+func (r *Reassembly) Deliver(fl *transport.Flow, stats transport.Counters, seq int) bool {
+	if seq >= len(r.got) || r.got[seq] {
+		fl.RedundantSegs++
+		return false
+	}
+	r.got[seq] = true
+	r.Received++
+	payload := int64(fl.SegPayload(seq))
+	fl.RxBytes += payload
+	stats.RxBytes.Add(payload)
+	for r.Cum < len(r.got) && r.got[r.Cum] {
+		r.Cum++
+	}
+	return true
+}
+
+// Full reports whether every segment has arrived.
+func (r *Reassembly) Full() bool { return r.Received >= len(r.got) }
+
+// Grow extends a per-subflow arrival bitmap so index n is addressable.
+func Grow(b []bool, n int) []bool {
+	for len(b) <= n {
+		b = append(b, false)
+	}
+	return b
+}
+
+// SendAck emits the standard ACK for a data packet: Seq echoes the data's
+// sub-flow sequence, SubSeq carries the receiver's cumulative count, CE
+// echoes the data's congestion mark when echoCE is set, and SentAt
+// preserves the data timestamp for sender-side RTT sampling.
+func SendAck(fl *transport.Flow, kind netem.Kind, class netem.Class, data *netem.Packet, cum uint32, echoCE bool) {
+	host := fl.Dst.Host
+	ack := host.NewPacket()
+	*ack = netem.Packet{
+		Kind:   kind,
+		Class:  class,
+		Dst:    fl.Src.Host.NodeID(),
+		Flow:   fl.ID,
+		Seq:    data.SubSeq,
+		SubSeq: cum,
+		CE:     echoCE && data.CE,
+		Size:   netem.AckSize,
+		SentAt: data.SentAt,
+	}
+	host.Send(ack)
+}
+
+// Complete finishes fl at the engine's current time and records the
+// completion in the stats/trace plane. Callers check fl.Completed and
+// stop their pacers first; Flow.Complete itself stays idempotent.
+func Complete(eng *sim.Engine, fl *transport.Flow, stats transport.Counters, ring *trace.Ring) {
+	fl.Complete(eng.Now())
+	stats.Completed.Inc()
+	stats.FCT.Observe(int64(fl.FCT() / sim.Microsecond))
+	ring.Add(trace.FlowDone, fl.ID, int64(fl.FCT()/sim.Microsecond), "fct_us")
+}
+
+// StartPair registers a sender/receiver pair on the flow's agents and
+// stamps the flow-start stats/trace events — the shared prologue of every
+// transport's Start. The caller still invokes its sender's Begin.
+func StartPair(fl *transport.Flow, snd, rcv transport.Endpoint, stats transport.Counters, ring *trace.Ring, label string) {
+	fl.Src.Register(fl.ID, snd)
+	fl.Dst.Register(fl.ID, rcv)
+	stats.Started.Inc()
+	ring.Add(trace.FlowStart, fl.ID, fl.Size, label)
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"flexpass/internal/netem"
+	"flexpass/internal/transport"
+)
+
+func TestReassemblyDeliver(t *testing.T) {
+	fl := &transport.Flow{Size: 2*netem.DataPayload + 100}
+	segs := fl.Segs()
+	if segs != 3 {
+		t.Fatalf("Segs = %d, want 3", segs)
+	}
+	asm := NewReassembly(segs)
+	var stats transport.Counters // zero value: increments no-op
+
+	if !asm.Deliver(fl, stats, 1) {
+		t.Fatal("first delivery rejected")
+	}
+	if asm.Cum != 0 {
+		t.Fatalf("Cum = %d with a hole at 0, want 0", asm.Cum)
+	}
+	if asm.Deliver(fl, stats, 1) {
+		t.Fatal("duplicate accepted")
+	}
+	if fl.RedundantSegs != 1 {
+		t.Fatalf("RedundantSegs = %d, want 1", fl.RedundantSegs)
+	}
+	asm.Deliver(fl, stats, 0)
+	if asm.Cum != 2 {
+		t.Fatalf("Cum = %d after filling the hole, want 2", asm.Cum)
+	}
+	if asm.Full() {
+		t.Fatal("Full with one segment missing")
+	}
+	asm.Deliver(fl, stats, 2)
+	if !asm.Full() || asm.Cum != 3 {
+		t.Fatalf("Full=%v Cum=%d after all segments", asm.Full(), asm.Cum)
+	}
+	if fl.RxBytes != fl.Size {
+		t.Fatalf("RxBytes = %d, want %d", fl.RxBytes, fl.Size)
+	}
+	// Out of range counts as redundant, not a panic.
+	if asm.Deliver(fl, stats, 99) {
+		t.Fatal("out-of-range delivery accepted")
+	}
+}
+
+func TestGrow(t *testing.T) {
+	var b []bool
+	b = Grow(b, 3)
+	if len(b) != 4 {
+		t.Fatalf("len = %d, want 4", len(b))
+	}
+	b[3] = true
+	if got := Grow(b, 2); len(got) != 4 || !got[3] {
+		t.Fatal("Grow shrank or clobbered the bitmap")
+	}
+}

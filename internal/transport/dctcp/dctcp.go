@@ -5,6 +5,7 @@ import (
 	"flexpass/internal/sim"
 	"flexpass/internal/trace"
 	"flexpass/internal/transport"
+	"flexpass/internal/transport/core"
 )
 
 // Config parameterizes a DCTCP connection. The class/kind fields let the
@@ -42,14 +43,6 @@ func LegacyConfig() Config {
 	}
 }
 
-// Segment states at the sender.
-const (
-	segPending uint8 = iota
-	segSent
-	segAcked
-	segLost
-)
-
 // Sender is the DCTCP send side of one flow.
 type Sender struct {
 	cfg  Config
@@ -57,34 +50,30 @@ type Sender struct {
 	flow *transport.Flow
 	win  *Window
 
-	state    []uint8
-	lostQ    []int // FIFO of segments marked lost, pending retransmit
-	nextNew  int
-	cumAck   int
-	sackHigh int // highest sub-flow seq acknowledged
-	inflight int
-	dupAcks  int
+	trk core.SegTracker
+	rec *core.RecoveryTimer
 
 	srtt, rttvar sim.Time
-	lastProgress sim.Time
-	rtoBackoff   uint // consecutive RTOs (exponential backoff)
-	rtoPending   bool
 	recoverEdge  int
 	finished     bool
-
-	checkRTOFn func() // pre-bound checkRTO: one closure per flow, not per arm
 }
 
 // NewSender builds the send side; call Begin to start transmitting.
 func NewSender(eng *sim.Engine, flow *transport.Flow, cfg Config) *Sender {
 	s := &Sender{
-		cfg:   cfg,
-		eng:   eng,
-		flow:  flow,
-		win:   NewWindow(cfg.InitCwnd),
-		state: make([]uint8, flow.Segs()),
+		cfg:  cfg,
+		eng:  eng,
+		flow: flow,
+		win:  NewWindow(cfg.InitCwnd),
+		trk:  core.NewSegTracker(flow.Segs()),
 	}
-	s.checkRTOFn = s.checkRTO
+	s.rec = core.NewRecoveryTimer(eng, core.RecoveryConfig{
+		BaseRTO:    s.baseRTO,
+		Expire:     s.onTimeout,
+		Idle:       func() bool { return s.finished || s.trk.Inflight == 0 },
+		MaxShift:   6,
+		ShiftOnArm: true,
+	})
 	return s
 }
 
@@ -98,34 +87,21 @@ func (s *Sender) Finished() bool { return s.finished }
 func (s *Sender) Cwnd() float64 { return s.win.Cwnd }
 
 func (s *Sender) sendMore() {
-	segs := s.flow.Segs()
-	for s.inflight < int(s.win.Cwnd) {
-		seq := -1
-		retx := false
-		for len(s.lostQ) > 0 {
-			cand := s.lostQ[0]
-			s.lostQ = s.lostQ[1:]
-			if s.state[cand] == segLost {
-				seq = cand
-				retx = true
-				break
-			}
-		}
+	for s.trk.Inflight < int(s.win.Cwnd) {
+		seq := s.trk.PopLost()
+		retx := seq >= 0
 		if seq < 0 {
-			if s.nextNew >= segs {
+			if seq = s.trk.PickNew(); seq < 0 {
 				break
 			}
-			seq = s.nextNew
-			s.nextNew++
 		}
 		s.transmit(seq, retx)
 	}
-	s.armRTO()
+	s.rec.Touch()
 }
 
 func (s *Sender) transmit(seq int, retx bool) {
-	s.state[seq] = segSent
-	s.inflight++
+	s.trk.MarkSent(seq)
 	if retx {
 		s.flow.Retransmits++
 		s.cfg.Stats.Retransmits.Inc()
@@ -148,66 +124,27 @@ func (s *Sender) transmit(seq int, retx bool) {
 	host.Send(pkt)
 }
 
-func (s *Sender) rto() sim.Time {
+// baseRTO is the un-backed-off timeout: srtt + 4·rttvar, floored at MinRTO.
+func (s *Sender) baseRTO() sim.Time {
 	r := s.cfg.MinRTO
 	if s.srtt != 0 {
 		if est := s.srtt + 4*s.rttvar; est > r {
 			r = est
 		}
 	}
-	// Exponential backoff on consecutive timeouts, capped at 64x.
-	bo := s.rtoBackoff
-	if bo > 6 {
-		bo = 6
-	}
-	return r << bo
-}
-
-// armRTO uses a lazy deadline: rather than cancelling and recreating a
-// timer per ACK (which floods the event heap), the pending timer fires and
-// re-checks the true deadline derived from the last progress time.
-func (s *Sender) armRTO() {
-	s.lastProgress = s.eng.Now()
-	if s.rtoPending || s.inflight == 0 || s.finished {
-		return
-	}
-	s.rtoPending = true
-	s.eng.After(s.rto(), s.checkRTOFn)
-}
-
-func (s *Sender) checkRTO() {
-	s.rtoPending = false
-	if s.finished || s.inflight == 0 {
-		return
-	}
-	deadline := s.lastProgress + s.rto()
-	if now := s.eng.Now(); now < deadline {
-		s.rtoPending = true
-		s.eng.At(deadline, s.checkRTOFn)
-		return
-	}
-	s.onTimeout()
+	return r
 }
 
 func (s *Sender) onTimeout() {
-	if s.finished {
-		return
-	}
 	s.flow.Timeouts++
 	s.cfg.Stats.Timeouts.Inc()
-	s.cfg.Trace.Add(trace.Timeout, s.flow.ID, int64(s.cumAck), "rto")
-	s.rtoBackoff++
+	s.cfg.Trace.Add(trace.Timeout, s.flow.ID, int64(s.trk.CumAck), "rto")
+	s.rec.Bump()
 	s.win.OnTimeout()
-	s.cfg.Trace.Addf(trace.WindowCut, s.flow.ID, int64(s.cumAck), "timeout cwnd=%.1f", s.win.Cwnd)
-	s.dupAcks = 0
-	for seq := s.cumAck; seq < s.nextNew; seq++ {
-		if s.state[seq] == segSent {
-			s.state[seq] = segLost
-			s.inflight--
-			s.lostQ = append(s.lostQ, seq)
-		}
-	}
-	s.recoverEdge = s.nextNew
+	s.cfg.Trace.Addf(trace.WindowCut, s.flow.ID, int64(s.trk.CumAck), "timeout cwnd=%.1f", s.win.Cwnd)
+	s.trk.DupAcks = 0
+	s.trk.LoseOutstanding()
+	s.recoverEdge = s.trk.NextNew
 	s.sendMore()
 }
 
@@ -235,58 +172,21 @@ func (s *Sender) Handle(pkt *netem.Packet) {
 		s.srtt = (7*s.srtt + sample) / 8
 	}
 
-	// Mark the sacked segment.
-	if sack < len(s.state) && s.state[sack] == segSent {
-		s.state[sack] = segAcked
-		s.inflight--
-	} else if sack < len(s.state) && s.state[sack] == segLost {
-		// Arrived after being declared lost: count it acked; the
-		// retransmit, if it happens, will be acked as a duplicate.
-		s.state[sack] = segAcked
-	}
-	if sack > s.sackHigh {
-		s.sackHigh = sack
-	}
-
-	advanced := cum > s.cumAck
+	advanced, newLoss := s.trk.OnAck(cum, sack, s.cfg.DupThresh)
 	if advanced {
-		for seq := s.cumAck; seq < cum && seq < len(s.state); seq++ {
-			switch s.state[seq] {
-			case segSent:
-				s.inflight--
-			}
-			s.state[seq] = segAcked
-		}
-		s.cumAck = cum
-		s.dupAcks = 0
-		s.rtoBackoff = 0
-	} else if sack >= s.cumAck {
-		s.dupAcks++
+		s.rec.Reset()
 	}
 
-	s.win.OnAck(cum, s.nextNew, pkt.CE)
+	s.win.OnAck(cum, s.trk.NextNew, pkt.CE)
 
-	// SACK-style loss inference: with DupThresh duplicate ACKs, everything
-	// sent but unacked more than DupThresh below the highest SACK is lost.
-	if s.dupAcks >= s.cfg.DupThresh {
-		edge := s.sackHigh - s.cfg.DupThresh + 1
-		newLoss := false
-		for seq := s.cumAck; seq < edge && seq < len(s.state); seq++ {
-			if s.state[seq] == segSent {
-				s.state[seq] = segLost
-				s.inflight--
-				s.lostQ = append(s.lostQ, seq)
-				newLoss = true
-			}
-		}
-		if newLoss && s.cumAck >= s.recoverEdge {
-			s.win.OnLoss(s.cumAck, s.nextNew)
-			s.recoverEdge = s.nextNew
-			s.cfg.Trace.Addf(trace.WindowCut, s.flow.ID, int64(s.cumAck), "dupack cwnd=%.1f", s.win.Cwnd)
-		}
+	// Fast-retransmit window reduction, at most once per recovery window.
+	if newLoss && s.trk.CumAck >= s.recoverEdge {
+		s.win.OnLoss(s.trk.CumAck, s.trk.NextNew)
+		s.recoverEdge = s.trk.NextNew
+		s.cfg.Trace.Addf(trace.WindowCut, s.flow.ID, int64(s.trk.CumAck), "dupack cwnd=%.1f", s.win.Cwnd)
 	}
 
-	if s.cumAck >= s.flow.Segs() {
+	if s.trk.Done() {
 		s.finished = true
 		return
 	}
@@ -299,15 +199,12 @@ type Receiver struct {
 	cfg  Config
 	eng  *sim.Engine
 	flow *transport.Flow
-
-	got      []bool
-	cum      int
-	received int
+	asm  core.Reassembly
 }
 
 // NewReceiver builds the receive side.
 func NewReceiver(eng *sim.Engine, flow *transport.Flow, cfg Config) *Receiver {
-	return &Receiver{cfg: cfg, eng: eng, flow: flow, got: make([]bool, flow.Segs())}
+	return &Receiver{cfg: cfg, eng: eng, flow: flow, asm: core.NewReassembly(flow.Segs())}
 }
 
 // Handle processes data packets.
@@ -315,37 +212,10 @@ func (r *Receiver) Handle(pkt *netem.Packet) {
 	if pkt.Kind != r.cfg.DataKind {
 		return
 	}
-	seq := int(pkt.SubSeq)
-	if seq < len(r.got) && !r.got[seq] {
-		r.got[seq] = true
-		r.received++
-		r.flow.RxBytes += int64(r.flow.SegPayload(seq))
-		r.cfg.Stats.RxBytes.Add(int64(r.flow.SegPayload(seq)))
-		for r.cum < len(r.got) && r.got[r.cum] {
-			r.cum++
-		}
-	} else {
-		r.flow.RedundantSegs++
-	}
-	host := r.flow.Dst.Host
-	ack := host.NewPacket()
-	*ack = netem.Packet{
-		Kind:   r.cfg.AckKind,
-		Class:  r.cfg.AckClass,
-		Dst:    r.flow.Src.Host.NodeID(),
-		Flow:   r.flow.ID,
-		Seq:    pkt.SubSeq,
-		SubSeq: uint32(r.cum),
-		CE:     pkt.CE,
-		Size:   netem.AckSize,
-		SentAt: pkt.SentAt,
-	}
-	host.Send(ack)
-	if r.received >= r.flow.Segs() && !r.flow.Completed {
-		r.flow.Complete(r.eng.Now())
-		r.cfg.Stats.Completed.Inc()
-		r.cfg.Stats.FCT.Observe(int64(r.flow.FCT() / sim.Microsecond))
-		r.cfg.Trace.Add(trace.FlowDone, r.flow.ID, int64(r.flow.FCT()/sim.Microsecond), "fct_us")
+	r.asm.Deliver(r.flow, r.cfg.Stats, int(pkt.SubSeq))
+	core.SendAck(r.flow, r.cfg.AckKind, r.cfg.AckClass, pkt, uint32(r.asm.Cum), true)
+	if r.asm.Full() && !r.flow.Completed {
+		core.Complete(r.eng, r.flow, r.cfg.Stats, r.cfg.Trace)
 	}
 }
 
@@ -354,10 +224,7 @@ func (r *Receiver) Handle(pkt *netem.Packet) {
 func Start(eng *sim.Engine, flow *transport.Flow, cfg Config) (*Sender, *Receiver) {
 	s := NewSender(eng, flow, cfg)
 	r := NewReceiver(eng, flow, cfg)
-	flow.Src.Register(flow.ID, s)
-	flow.Dst.Register(flow.ID, r)
-	cfg.Stats.Started.Inc()
-	cfg.Trace.Add(trace.FlowStart, flow.ID, flow.Size, "dctcp")
+	core.StartPair(flow, s, r, cfg.Stats, cfg.Trace, transport.SchemeDCTCP)
 	s.Begin()
 	return s, r
 }

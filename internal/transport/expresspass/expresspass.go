@@ -1,3 +1,8 @@
+// Package expresspass implements the ExpressPass credit-based proactive
+// transport (Cho et al., SIGCOMM 2017) as used by the paper: receiver-driven
+// credit pacing (the shared core.Pacer), per-link credit-queue rate
+// limiting (done by the netem profiles), and SACK-style recovery over the
+// credit loop.
 package expresspass
 
 import (
@@ -5,6 +10,7 @@ import (
 	"flexpass/internal/sim"
 	"flexpass/internal/trace"
 	"flexpass/internal/transport"
+	"flexpass/internal/transport/core"
 	"flexpass/internal/transport/dctcp"
 )
 
@@ -44,14 +50,6 @@ func DefaultConfig(p PacerConfig) Config {
 	}
 }
 
-// Segment states (shared shape with dctcp's sender).
-const (
-	segPending uint8 = iota
-	segSent
-	segAcked
-	segLost
-)
-
 // Sender is the ExpressPass send side: data leaves only when a credit
 // arrives.
 type Sender struct {
@@ -59,39 +57,32 @@ type Sender struct {
 	eng  *sim.Engine
 	flow *transport.Flow
 
-	state    []uint8
-	lostQ    []int
-	nextNew  int
-	cumAck   int
-	sackHigh int
-	dupAcks  int
-	oldest   int  // scan pointer for tail retransmission
-	rescanOK bool // a fresh ACK arrived since the last full tail rescan
+	trk core.SegTracker
+	rec *core.RecoveryTimer
 
 	// Layering state.
-	win      *dctcp.Window
-	inflight int
+	win *dctcp.Window
 
-	recoverPending bool
-	recoverBackoff uint
-	lastProgress   sim.Time
-	finished       bool
-
-	checkRecoveryFn func() // pre-bound checkRecovery: one closure per flow
+	finished bool
 }
 
 // NewSender builds the send side; Begin issues the credit request.
 func NewSender(eng *sim.Engine, flow *transport.Flow, cfg Config) *Sender {
 	s := &Sender{
-		cfg:   cfg,
-		eng:   eng,
-		flow:  flow,
-		state: make([]uint8, flow.Segs()),
+		cfg:  cfg,
+		eng:  eng,
+		flow: flow,
+		trk:  core.NewSegTracker(flow.Segs()),
 	}
 	if cfg.Layered {
 		s.win = dctcp.NewWindow(10)
 	}
-	s.checkRecoveryFn = s.checkRecovery
+	s.rec = core.NewRecoveryTimer(eng, core.RecoveryConfig{
+		BaseRTO:  func() sim.Time { return cfg.MinRTO },
+		Expire:   s.onRecoveryTimeout,
+		Idle:     func() bool { return s.finished },
+		MaxShift: 4,
+	})
 	return s
 }
 
@@ -100,7 +91,7 @@ func NewSender(eng *sim.Engine, flow *transport.Flow, cfg Config) *Sender {
 // first RTT).
 func (s *Sender) Begin() {
 	s.sendRequest()
-	s.armRecovery()
+	s.rec.Touch()
 }
 
 // Finished reports send-side completion.
@@ -123,85 +114,19 @@ func (s *Sender) sendRequest() {
 	host.Send(pkt)
 }
 
-// armRecovery refreshes the progress stamp; the pending timer re-checks
-// the true deadline lazily instead of being cancelled per event.
-func (s *Sender) armRecovery() {
-	s.lastProgress = s.eng.Now()
-	if s.recoverPending || s.finished {
-		return
-	}
-	s.recoverPending = true
-	s.eng.After(s.cfg.MinRTO, s.checkRecoveryFn)
-}
-
-func (s *Sender) checkRecovery() {
-	s.recoverPending = false
-	if s.finished {
-		return
-	}
-	bo := s.recoverBackoff
-	if bo > 4 {
-		bo = 4
-	}
-	deadline := s.lastProgress + s.cfg.MinRTO<<bo
-	if s.eng.Now() < deadline {
-		s.recoverPending = true
-		s.eng.At(deadline, s.checkRecoveryFn)
-		return
-	}
-	s.onRecoveryTimeout()
-}
-
 // onRecoveryTimeout fires when neither credits nor ACKs arrived for an RTO:
 // the credit request (or the whole credit stream) was lost. Re-request.
 func (s *Sender) onRecoveryTimeout() {
 	s.flow.Timeouts++
 	s.cfg.Stats.Timeouts.Inc()
-	s.cfg.Trace.Add(trace.Timeout, s.flow.ID, int64(s.cumAck), "re-request")
-	s.recoverBackoff++
+	s.cfg.Trace.Add(trace.Timeout, s.flow.ID, int64(s.trk.CumAck), "re-request")
+	s.rec.Bump()
 	s.sendRequest()
-	s.armRecovery()
-}
-
-// pick selects the segment a fresh credit should carry: Lost first, then
-// new data, then the oldest unacked (tail robustness). Returns -1 when the
-// credit is wasted.
-func (s *Sender) pick() (seq int, retx bool) {
-	for len(s.lostQ) > 0 {
-		cand := s.lostQ[0]
-		s.lostQ = s.lostQ[1:]
-		if s.state[cand] == segLost {
-			return cand, true
-		}
-	}
-	if s.nextNew < len(s.state) {
-		seq = s.nextNew
-		s.nextNew++
-		return seq, false
-	}
-	// Tail robustness: re-send the oldest unacked segment, each at most
-	// once per rescan round; a new round opens only when a fresh ACK
-	// arrives, so a slow ACK path cannot trigger a duplicate storm.
-	for {
-		for s.oldest < len(s.state) && s.state[s.oldest] == segAcked {
-			s.oldest++
-		}
-		if s.oldest < len(s.state) {
-			seq := s.oldest
-			s.oldest++
-			return seq, true
-		}
-		if !s.rescanOK {
-			return -1, false
-		}
-		s.rescanOK = false
-		s.oldest = s.cumAck
-	}
+	s.rec.Touch()
 }
 
 func (s *Sender) transmit(seq int, retx bool, echo uint32) {
-	s.state[seq] = segSent
-	s.inflight++
+	s.trk.MarkSent(seq)
 	if retx {
 		s.flow.Retransmits++
 		s.cfg.Stats.Retransmits.Inc()
@@ -234,22 +159,22 @@ func (s *Sender) Handle(pkt *netem.Packet) {
 		}
 		s.flow.CreditsGranted++
 		s.cfg.Stats.CreditsGranted.Inc()
-		if s.cfg.Layered && float64(s.inflight) >= s.win.Cwnd {
+		if s.cfg.Layered && float64(s.trk.Inflight) >= s.win.Cwnd {
 			s.flow.CreditsWasted++
 			s.cfg.Stats.CreditsWasted.Inc()
-			s.cfg.Trace.Add(trace.CreditWaste, s.flow.ID, int64(s.cumAck), "window full")
+			s.cfg.Trace.Add(trace.CreditWaste, s.flow.ID, int64(s.trk.CumAck), "window full")
 			return
 		}
-		seq, retx := s.pick()
+		seq, retx := s.trk.Pick()
 		if seq < 0 {
 			s.flow.CreditsWasted++
 			s.cfg.Stats.CreditsWasted.Inc()
-			s.cfg.Trace.Add(trace.CreditWaste, s.flow.ID, int64(s.cumAck), "no data")
+			s.cfg.Trace.Add(trace.CreditWaste, s.flow.ID, int64(s.trk.CumAck), "no data")
 			return
 		}
 		s.transmit(seq, retx, pkt.SubSeq)
 		s.cfg.Trace.Add(trace.CreditUse, s.flow.ID, int64(seq), "")
-		s.armRecovery()
+		s.rec.Touch()
 	case netem.KindAckPro:
 		s.onAck(pkt)
 	}
@@ -259,52 +184,19 @@ func (s *Sender) onAck(pkt *netem.Packet) {
 	if s.finished {
 		return
 	}
-	s.rescanOK = true
-	s.recoverBackoff = 0
+	s.rec.Reset()
 	cum := int(pkt.SubSeq)
-	sack := int(pkt.Seq)
-	if sack < len(s.state) {
-		if s.state[sack] == segSent {
-			s.state[sack] = segAcked
-			s.inflight--
-		} else if s.state[sack] == segLost {
-			s.state[sack] = segAcked
-		}
-	}
-	if sack > s.sackHigh {
-		s.sackHigh = sack
-	}
-	if cum > s.cumAck {
-		for seq := s.cumAck; seq < cum && seq < len(s.state); seq++ {
-			if s.state[seq] == segSent {
-				s.inflight--
-			}
-			s.state[seq] = segAcked
-		}
-		s.cumAck = cum
-		s.dupAcks = 0
-	} else if sack >= s.cumAck {
-		s.dupAcks++
-	}
+	s.trk.OnAck(cum, int(pkt.Seq), 3)
 	if s.cfg.Layered {
-		s.win.OnAck(cum, s.nextNew, pkt.CE)
+		// The window sees the raw cumulative ACK (not the folded edge): a
+		// stale reordered ACK must not fast-forward the alpha/reduce epochs.
+		s.win.OnAck(cum, s.trk.NextNew, pkt.CE)
 	}
-	// SACK-style loss marking; recovered via the credit loop.
-	if s.dupAcks >= 3 {
-		edge := s.sackHigh - 2
-		for seq := s.cumAck; seq < edge && seq < len(s.state); seq++ {
-			if s.state[seq] == segSent {
-				s.state[seq] = segLost
-				s.inflight--
-				s.lostQ = append(s.lostQ, seq)
-			}
-		}
-	}
-	if s.cumAck >= len(s.state) {
+	if s.trk.Done() {
 		s.finished = true
 		return
 	}
-	s.armRecovery()
+	s.rec.Touch()
 }
 
 // Receiver is the ExpressPass receive side: it paces credits and
@@ -314,10 +206,7 @@ type Receiver struct {
 	eng   *sim.Engine
 	flow  *transport.Flow
 	pacer *Pacer
-
-	got      []bool
-	cum      int
-	received int
+	asm   core.Reassembly
 }
 
 // NewReceiver builds the receive side.
@@ -327,7 +216,7 @@ func NewReceiver(eng *sim.Engine, flow *transport.Flow, cfg Config) *Receiver {
 		eng:   eng,
 		flow:  flow,
 		pacer: NewPacer(eng, flow.Dst.Host, flow.Src.Host.NodeID(), flow.ID, cfg.Pacer),
-		got:   make([]bool, flow.Segs()),
+		asm:   core.NewReassembly(flow.Segs()),
 	}
 }
 
@@ -343,38 +232,11 @@ func (r *Receiver) Handle(pkt *netem.Packet) {
 		}
 	case netem.KindProData:
 		r.pacer.OnData(pkt.Echo)
-		seq := int(pkt.SubSeq)
-		if seq < len(r.got) && !r.got[seq] {
-			r.got[seq] = true
-			r.received++
-			r.flow.RxBytes += int64(r.flow.SegPayload(seq))
-			r.cfg.Stats.RxBytes.Add(int64(r.flow.SegPayload(seq)))
-			for r.cum < len(r.got) && r.got[r.cum] {
-				r.cum++
-			}
-		} else {
-			r.flow.RedundantSegs++
-		}
-		host := r.flow.Dst.Host
-		ack := host.NewPacket()
-		*ack = netem.Packet{
-			Kind:   netem.KindAckPro,
-			Class:  r.cfg.AckClass,
-			Dst:    r.flow.Src.Host.NodeID(),
-			Flow:   r.flow.ID,
-			Seq:    pkt.SubSeq,
-			SubSeq: uint32(r.cum),
-			CE:     pkt.CE,
-			Size:   netem.AckSize,
-			SentAt: pkt.SentAt,
-		}
-		host.Send(ack)
-		if r.received >= r.flow.Segs() && !r.flow.Completed {
+		r.asm.Deliver(r.flow, r.cfg.Stats, int(pkt.SubSeq))
+		core.SendAck(r.flow, netem.KindAckPro, r.cfg.AckClass, pkt, uint32(r.asm.Cum), true)
+		if r.asm.Full() && !r.flow.Completed {
 			r.pacer.Stop()
-			r.flow.Complete(r.eng.Now())
-			r.cfg.Stats.Completed.Inc()
-			r.cfg.Stats.FCT.Observe(int64(r.flow.FCT() / sim.Microsecond))
-			r.cfg.Trace.Add(trace.FlowDone, r.flow.ID, int64(r.flow.FCT()/sim.Microsecond), "fct_us")
+			core.Complete(r.eng, r.flow, r.cfg.Stats, r.cfg.Trace)
 		}
 	}
 }
@@ -383,10 +245,7 @@ func (r *Receiver) Handle(pkt *netem.Packet) {
 func Start(eng *sim.Engine, flow *transport.Flow, cfg Config) (*Sender, *Receiver) {
 	s := NewSender(eng, flow, cfg)
 	r := NewReceiver(eng, flow, cfg)
-	flow.Src.Register(flow.ID, s)
-	flow.Dst.Register(flow.ID, r)
-	cfg.Stats.Started.Inc()
-	cfg.Trace.Add(trace.FlowStart, flow.ID, flow.Size, "expresspass")
+	core.StartPair(flow, s, r, cfg.Stats, cfg.Trace, transport.SchemeExpressPass)
 	s.Begin()
 	return s, r
 }

@@ -19,7 +19,7 @@ import (
 	"flexpass/internal/sim"
 	"flexpass/internal/trace"
 	"flexpass/internal/transport"
-	"flexpass/internal/transport/expresspass"
+	"flexpass/internal/transport/core"
 )
 
 // CreditSource abstracts the receiver-side credit allocator that drives
@@ -42,7 +42,7 @@ type Config struct {
 	ProClass netem.Class // queue class of proactive data (Q1)
 	ReClass  netem.Class // queue class of reactive data (Q1; Q2 in the AltQ ablation)
 	AckClass netem.Class // queue class of ACKs (Q1, FlexPass control)
-	Pacer    expresspass.PacerConfig
+	Pacer    core.PacerConfig
 
 	// NewCreditSource, when non-nil, replaces the default ExpressPass
 	// pacer with a custom allocator (§4.3 extensibility).
@@ -85,7 +85,7 @@ type Config struct {
 
 // DefaultConfig returns the paper's FlexPass setup given the per-flow
 // credit pacer configuration.
-func DefaultConfig(p expresspass.PacerConfig) Config {
+func DefaultConfig(p core.PacerConfig) Config {
 	return Config{
 		ProClass: netem.ClassFlex,
 		ReClass:  netem.ClassFlex,
@@ -148,13 +148,9 @@ type Sender struct {
 	proTailScan int // oldest unacked proactive transmission (tail robustness)
 	rackScan    int // time-ordered reactive loss-detection scan
 
-	pumped         bool // first reactive window sent (PreCreditOnly)
-	recoverPending bool
-	recoverBackoff uint
-	lastProgress   sim.Time
-	finished       bool
-
-	checkRecoveryFn func() // pre-bound checkRecovery: one closure per flow
+	pumped   bool // first reactive window sent (PreCreditOnly)
+	rec      *core.RecoveryTimer
+	finished bool
 }
 
 // NewSender builds the send side; Begin starts both sub-flows.
@@ -173,7 +169,12 @@ func NewSender(eng *sim.Engine, flow *transport.Flow, cfg Config) *Sender {
 	for i := range s.segReSub {
 		s.segReSub[i] = -1
 	}
-	s.checkRecoveryFn = s.checkRecovery
+	s.rec = core.NewRecoveryTimer(eng, core.RecoveryConfig{
+		BaseRTO:  func() sim.Time { return cfg.MinRTO },
+		Expire:   s.onRecoveryTimeout,
+		Idle:     func() bool { return s.finished },
+		MaxShift: 4,
+	})
 	return s
 }
 
@@ -182,7 +183,7 @@ func NewSender(eng *sim.Engine, flow *transport.Flow, cfg Config) *Sender {
 func (s *Sender) Begin() {
 	s.sendCreditRequest()
 	s.pumpReactive()
-	s.armRecovery()
+	s.rec.Touch()
 }
 
 // Finished reports whether every segment is acknowledged.
@@ -209,35 +210,6 @@ func (s *Sender) sendCreditRequest() {
 	host.Send(pkt)
 }
 
-// armRecovery refreshes the progress stamp; the pending timer re-checks
-// the true deadline lazily instead of being cancelled per event.
-func (s *Sender) armRecovery() {
-	s.lastProgress = s.eng.Now()
-	if s.recoverPending || s.finished {
-		return
-	}
-	s.recoverPending = true
-	s.eng.After(s.cfg.MinRTO, s.checkRecoveryFn)
-}
-
-func (s *Sender) checkRecovery() {
-	s.recoverPending = false
-	if s.finished {
-		return
-	}
-	bo := s.recoverBackoff
-	if bo > 4 {
-		bo = 4
-	}
-	deadline := s.lastProgress + s.cfg.MinRTO<<bo
-	if s.eng.Now() < deadline {
-		s.recoverPending = true
-		s.eng.At(deadline, s.checkRecoveryFn)
-		return
-	}
-	s.onRecoveryTimeout()
-}
-
 // onRecoveryTimeout fires only when credits and ACKs both stopped for a
 // full RTO (e.g. the credit request was lost before any data got through).
 // It re-requests credits and requeues every unacked transmission for
@@ -245,7 +217,7 @@ func (s *Sender) checkRecovery() {
 func (s *Sender) onRecoveryTimeout() {
 	s.flow.Timeouts++
 	s.cfg.Stats.Timeouts.Inc()
-	s.recoverBackoff++
+	s.rec.Bump()
 	s.cfg.Trace.Add(trace.Timeout, s.flow.ID, int64(s.ackedCount), "recovery timer fired")
 	s.sendCreditRequest()
 	for sub := s.reCum; sub < len(s.reState); sub++ {
@@ -268,7 +240,7 @@ func (s *Sender) onRecoveryTimeout() {
 	s.win.OnTimeout()
 	s.cfg.Trace.Addf(trace.WindowCut, s.flow.ID, int64(s.reCum), "timeout cwnd=%.1f", s.win.Cwnd())
 	s.pumpReactive()
-	s.armRecovery()
+	s.rec.Touch()
 }
 
 // rackDetect is time-based loss detection for the reactive sub-flow
@@ -511,7 +483,7 @@ func (s *Sender) Handle(pkt *netem.Packet) {
 		}
 		s.sendProactive(seg, pkt.SubSeq, proRetx, retx)
 		s.cfg.Trace.Add(trace.CreditUse, s.flow.ID, int64(seg), "")
-		s.armRecovery()
+		s.rec.Touch()
 	case netem.KindAckRe:
 		s.onReactiveAck(pkt)
 	case netem.KindAckPro:
@@ -520,7 +492,7 @@ func (s *Sender) Handle(pkt *netem.Packet) {
 }
 
 func (s *Sender) updateRTT(pkt *netem.Packet) {
-	s.recoverBackoff = 0
+	s.rec.Reset()
 	sample := s.eng.Now() - pkt.SentAt
 	if s.srtt == 0 {
 		s.srtt = sample
@@ -590,7 +562,7 @@ func (s *Sender) onReactiveAck(pkt *netem.Packet) {
 		return
 	}
 	s.pumpReactive()
-	s.armRecovery()
+	s.rec.Touch()
 }
 
 func (s *Sender) onProactiveAck(pkt *netem.Packet) {
@@ -646,7 +618,7 @@ func (s *Sender) onProactiveAck(pkt *netem.Packet) {
 	// Releasing cross-acked reactive transmissions may have opened the
 	// reactive window.
 	s.pumpReactive()
-	s.armRecovery()
+	s.rec.Touch()
 }
 
 // Receiver is the FlexPass receive side: per-sub-flow ACKs, reassembly by
@@ -678,7 +650,7 @@ func NewReceiver(eng *sim.Engine, flow *transport.Flow, cfg Config) *Receiver {
 	if cfg.NewCreditSource != nil {
 		src = cfg.NewCreditSource(eng, flow)
 	} else {
-		src = expresspass.NewPacer(eng, flow.Dst.Host, flow.Src.Host.NodeID(), flow.ID, cfg.Pacer)
+		src = core.NewPacer(eng, flow.Dst.Host, flow.Src.Host.NodeID(), flow.ID, cfg.Pacer)
 	}
 	return &Receiver{
 		cfg:   cfg,
@@ -692,13 +664,6 @@ func NewReceiver(eng *sim.Engine, flow *transport.Flow, cfg Config) *Receiver {
 // Pacer exposes the credit source (the ExpressPass pacer by default).
 func (r *Receiver) Pacer() CreditSource { return r.pacer }
 
-func grow(b []bool, n int) []bool {
-	for len(b) <= n {
-		b = append(b, false)
-	}
-	return b
-}
-
 // Handle processes packets of the flow.
 func (r *Receiver) Handle(pkt *netem.Packet) {
 	if !r.started && !r.flow.Completed {
@@ -710,7 +675,7 @@ func (r *Receiver) Handle(pkt *netem.Packet) {
 	case netem.KindCreditReq:
 		// Crediting already started above.
 	case netem.KindReData:
-		r.reGot = grow(r.reGot, int(pkt.SubSeq))
+		r.reGot = core.Grow(r.reGot, int(pkt.SubSeq))
 		if !r.reGot[pkt.SubSeq] {
 			r.reGot[pkt.SubSeq] = true
 			for r.reCum < len(r.reGot) && r.reGot[r.reCum] {
@@ -718,11 +683,11 @@ func (r *Receiver) Handle(pkt *netem.Packet) {
 			}
 		}
 		r.absorb(pkt, false)
-		r.sendAck(netem.KindAckRe, pkt, uint32(r.reCum))
+		core.SendAck(r.flow, netem.KindAckRe, r.cfg.AckClass, pkt, uint32(r.reCum), true)
 		r.checkComplete()
 	case netem.KindProData:
 		r.pacer.OnData(pkt.Echo)
-		r.proGot = grow(r.proGot, int(pkt.SubSeq))
+		r.proGot = core.Grow(r.proGot, int(pkt.SubSeq))
 		if !r.proGot[pkt.SubSeq] {
 			r.proGot[pkt.SubSeq] = true
 			for r.proCum < len(r.proGot) && r.proGot[r.proCum] {
@@ -730,7 +695,7 @@ func (r *Receiver) Handle(pkt *netem.Packet) {
 			}
 		}
 		r.absorb(pkt, true)
-		r.sendAck(netem.KindAckPro, pkt, uint32(r.proCum))
+		core.SendAck(r.flow, netem.KindAckPro, r.cfg.AckClass, pkt, uint32(r.proCum), true)
 		r.checkComplete()
 	}
 }
@@ -763,30 +728,10 @@ func (r *Receiver) absorb(pkt *netem.Packet, proactive bool) {
 	}
 }
 
-func (r *Receiver) sendAck(kind netem.Kind, data *netem.Packet, cum uint32) {
-	host := r.flow.Dst.Host
-	ack := host.NewPacket()
-	*ack = netem.Packet{
-		Kind:   kind,
-		Class:  r.cfg.AckClass,
-		Dst:    r.flow.Src.Host.NodeID(),
-		Flow:   r.flow.ID,
-		Seq:    data.SubSeq,
-		SubSeq: cum,
-		CE:     data.CE,
-		Size:   netem.AckSize,
-		SentAt: data.SentAt,
-	}
-	host.Send(ack)
-}
-
 func (r *Receiver) checkComplete() {
 	if r.received >= r.flow.Segs() && !r.flow.Completed {
 		r.pacer.Stop()
-		r.flow.Complete(r.eng.Now())
-		r.cfg.Stats.Completed.Inc()
-		r.cfg.Stats.FCT.Observe(int64(r.flow.FCT() / sim.Microsecond))
-		r.cfg.Trace.Add(trace.FlowDone, r.flow.ID, int64(r.flow.FCT()/sim.Microsecond), "fct_us")
+		core.Complete(r.eng, r.flow, r.cfg.Stats, r.cfg.Trace)
 	}
 }
 
@@ -794,10 +739,7 @@ func (r *Receiver) checkComplete() {
 func Start(eng *sim.Engine, flow *transport.Flow, cfg Config) (*Sender, *Receiver) {
 	s := NewSender(eng, flow, cfg)
 	r := NewReceiver(eng, flow, cfg)
-	flow.Src.Register(flow.ID, s)
-	flow.Dst.Register(flow.ID, r)
-	cfg.Stats.Started.Inc()
-	cfg.Trace.Add(trace.FlowStart, flow.ID, flow.Size, "flexpass")
+	core.StartPair(flow, s, r, cfg.Stats, cfg.Trace, transport.SchemeFlexPass)
 	s.Begin()
 	return s, r
 }

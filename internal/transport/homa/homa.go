@@ -17,6 +17,7 @@ import (
 	"flexpass/internal/sim"
 	"flexpass/internal/trace"
 	"flexpass/internal/transport"
+	"flexpass/internal/transport/core"
 	"flexpass/internal/units"
 )
 
@@ -160,10 +161,7 @@ func (r *Receiver) Handle(pkt *netem.Packet) {
 	r.cfg.Stats.RxBytes.Add(int64(r.flow.SegPayload(int(pkt.Seq))))
 	if r.received >= r.flow.Segs() {
 		r.stop()
-		r.flow.Complete(r.eng.Now())
-		r.cfg.Stats.Completed.Inc()
-		r.cfg.Stats.FCT.Observe(int64(r.flow.FCT() / sim.Microsecond))
-		r.cfg.Trace.Add(trace.FlowDone, r.flow.ID, int64(r.flow.FCT()/sim.Microsecond), "fct_us")
+		core.Complete(r.eng, r.flow, r.cfg.Stats, r.cfg.Trace)
 		return
 	}
 	if !r.granting {
@@ -207,10 +205,7 @@ func (r *Receiver) grantTick() {
 func Start(eng *sim.Engine, flow *transport.Flow, cfg Config) (*Sender, *Receiver) {
 	s := NewSender(eng, flow, cfg)
 	r := NewReceiver(eng, flow, cfg)
-	flow.Src.Register(flow.ID, s)
-	flow.Dst.Register(flow.ID, r)
-	cfg.Stats.Started.Inc()
-	cfg.Trace.Add(trace.FlowStart, flow.ID, flow.Size, "homa")
+	core.StartPair(flow, s, r, cfg.Stats, cfg.Trace, transport.SchemeHoma)
 	s.Begin()
 	return s, r
 }

@@ -18,6 +18,7 @@ import (
 	"flexpass/internal/sim"
 	"flexpass/internal/trace"
 	"flexpass/internal/transport"
+	"flexpass/internal/transport/core"
 	"flexpass/internal/units"
 )
 
@@ -166,14 +167,6 @@ func (a *Arbiter) tick() {
 	a.wake()
 }
 
-// Segment states.
-const (
-	segPending uint8 = iota
-	segSent
-	segAcked
-	segLost
-)
-
 // Sender is the pHost send side: free first-RTT segments, then
 // token-clocked transmission.
 type Sender struct {
@@ -181,52 +174,45 @@ type Sender struct {
 	eng  *sim.Engine
 	flow *transport.Flow
 
-	state    []uint8
-	lostQ    []int
-	nextNew  int
-	cumAck   int
-	sackHigh int
-	dupAcks  int
-	oldest   int
-	rescanOK bool
+	trk core.SegTracker
+	rec *core.RecoveryTimer
 
-	recoverPending bool
-	recoverBackoff uint
-	lastProgress   sim.Time
-	finished       bool
-
-	checkRecoveryFn func() // pre-bound checkRecovery: one closure per flow
+	finished bool
 }
 
 // NewSender builds the send side.
 func NewSender(eng *sim.Engine, flow *transport.Flow, cfg Config) *Sender {
-	s := &Sender{cfg: cfg, eng: eng, flow: flow, state: make([]uint8, flow.Segs())}
-	s.checkRecoveryFn = s.checkRecovery
+	s := &Sender{cfg: cfg, eng: eng, flow: flow, trk: core.NewSegTracker(flow.Segs())}
+	s.rec = core.NewRecoveryTimer(eng, core.RecoveryConfig{
+		BaseRTO:  func() sim.Time { return cfg.MinRTO },
+		Expire:   s.onRecoveryTimeout,
+		Idle:     func() bool { return s.finished },
+		MaxShift: 4,
+	})
 	return s
 }
 
 // Begin fires the free first-RTT window (which doubles as the request).
 func (s *Sender) Begin() {
 	free := s.cfg.FreeSegs
-	if free > len(s.state) {
-		free = len(s.state)
+	if free > len(s.trk.State) {
+		free = len(s.trk.State)
 	}
 	for i := 0; i < free; i++ {
-		s.transmit(s.nextNew, false)
-		s.nextNew++
+		s.transmit(s.trk.PickNew(), false)
 	}
 	if free == 0 {
 		// Zero-length edge: still announce ourselves.
 		s.transmit(0, false)
 	}
-	s.armRecovery()
+	s.rec.Touch()
 }
 
 // Finished reports send-side completion.
 func (s *Sender) Finished() bool { return s.finished }
 
 func (s *Sender) transmit(seq int, retx bool) {
-	s.state[seq] = segSent
+	s.trk.MarkSent(seq)
 	if retx {
 		s.flow.Retransmits++
 		s.cfg.Stats.Retransmits.Inc()
@@ -247,72 +233,17 @@ func (s *Sender) transmit(seq int, retx bool) {
 	host.Send(pkt)
 }
 
-func (s *Sender) armRecovery() {
-	s.lastProgress = s.eng.Now()
-	if s.recoverPending || s.finished {
-		return
-	}
-	s.recoverPending = true
-	s.eng.After(s.cfg.MinRTO, s.checkRecoveryFn)
-}
-
-func (s *Sender) checkRecovery() {
-	s.recoverPending = false
-	if s.finished {
-		return
-	}
-	bo := s.recoverBackoff
-	if bo > 4 {
-		bo = 4
-	}
-	deadline := s.lastProgress + s.cfg.MinRTO<<bo
-	if s.eng.Now() < deadline {
-		s.recoverPending = true
-		s.eng.At(deadline, s.checkRecoveryFn)
-		return
-	}
+// onRecoveryTimeout re-announces the flow with the oldest unacked segment
+// (tokens stopped coming: either our data or the token stream was lost).
+func (s *Sender) onRecoveryTimeout() {
 	s.flow.Timeouts++
 	s.cfg.Stats.Timeouts.Inc()
-	s.cfg.Trace.Add(trace.Timeout, s.flow.ID, int64(s.cumAck), "re-announce")
-	s.recoverBackoff++
-	// Re-announce with the oldest unacked segment.
-	for s.oldest < len(s.state) && s.state[s.oldest] == segAcked {
-		s.oldest++
+	s.cfg.Trace.Add(trace.Timeout, s.flow.ID, int64(s.trk.CumAck), "re-announce")
+	s.rec.Bump()
+	if seq := s.trk.OldestUnacked(); seq >= 0 {
+		s.transmit(seq, true)
 	}
-	if s.oldest < len(s.state) {
-		s.transmit(s.oldest, true)
-	}
-	s.armRecovery()
-}
-
-func (s *Sender) pick() (int, bool) {
-	for len(s.lostQ) > 0 {
-		cand := s.lostQ[0]
-		s.lostQ = s.lostQ[1:]
-		if s.state[cand] == segLost {
-			return cand, true
-		}
-	}
-	if s.nextNew < len(s.state) {
-		seq := s.nextNew
-		s.nextNew++
-		return seq, false
-	}
-	for {
-		for s.oldest < len(s.state) && s.state[s.oldest] == segAcked {
-			s.oldest++
-		}
-		if s.oldest < len(s.state) {
-			seq := s.oldest
-			s.oldest++
-			return seq, true
-		}
-		if !s.rescanOK {
-			return -1, false
-		}
-		s.rescanOK = false
-		s.oldest = s.cumAck
-	}
+	s.rec.Touch()
 }
 
 // Handle processes tokens and ACKs.
@@ -324,16 +255,16 @@ func (s *Sender) Handle(pkt *netem.Packet) {
 		}
 		s.flow.CreditsGranted++
 		s.cfg.Stats.CreditsGranted.Inc()
-		seq, retx := s.pick()
+		seq, retx := s.trk.Pick()
 		if seq < 0 {
 			s.flow.CreditsWasted++
 			s.cfg.Stats.CreditsWasted.Inc()
-			s.cfg.Trace.Add(trace.CreditWaste, s.flow.ID, int64(s.cumAck), "no data")
+			s.cfg.Trace.Add(trace.CreditWaste, s.flow.ID, int64(s.trk.CumAck), "no data")
 			return
 		}
 		s.transmit(seq, retx)
 		s.cfg.Trace.Add(trace.CreditUse, s.flow.ID, int64(seq), "token")
-		s.armRecovery()
+		s.rec.Touch()
 	case netem.KindAckPro:
 		s.onAck(pkt)
 	}
@@ -343,39 +274,13 @@ func (s *Sender) onAck(pkt *netem.Packet) {
 	if s.finished {
 		return
 	}
-	s.rescanOK = true
-	s.recoverBackoff = 0
-	cum := int(pkt.SubSeq)
-	sack := int(pkt.Seq)
-	if sack < len(s.state) && s.state[sack] != segAcked {
-		s.state[sack] = segAcked
-	}
-	if sack > s.sackHigh {
-		s.sackHigh = sack
-	}
-	if cum > s.cumAck {
-		for seq := s.cumAck; seq < cum && seq < len(s.state); seq++ {
-			s.state[seq] = segAcked
-		}
-		s.cumAck = cum
-		s.dupAcks = 0
-	} else if sack >= s.cumAck {
-		s.dupAcks++
-	}
-	if s.dupAcks >= 3 {
-		edge := s.sackHigh - 2
-		for seq := s.cumAck; seq < edge && seq < len(s.state); seq++ {
-			if s.state[seq] == segSent {
-				s.state[seq] = segLost
-				s.lostQ = append(s.lostQ, seq)
-			}
-		}
-	}
-	if s.cumAck >= len(s.state) {
+	s.rec.Reset()
+	s.trk.OnAck(int(pkt.SubSeq), int(pkt.Seq), 3)
+	if s.trk.Done() {
 		s.finished = true
 		return
 	}
-	s.armRecovery()
+	s.rec.Touch()
 }
 
 // Receiver acknowledges data and participates in its host's token
@@ -385,17 +290,15 @@ type Receiver struct {
 	eng     *sim.Engine
 	flow    *transport.Flow
 	arbiter *Arbiter
+	asm     core.Reassembly
 
-	got         []bool
-	cum         int
-	received    int
 	tokensSent  int
 	lastArrival sim.Time
 }
 
 // NewReceiver builds the receive side bound to the host's arbiter.
 func NewReceiver(eng *sim.Engine, flow *transport.Flow, arb *Arbiter, cfg Config) *Receiver {
-	return &Receiver{cfg: cfg, eng: eng, flow: flow, arbiter: arb, got: make([]bool, flow.Segs())}
+	return &Receiver{cfg: cfg, eng: eng, flow: flow, arbiter: arb, asm: core.NewReassembly(flow.Segs())}
 }
 
 // completed implements participant.
@@ -405,10 +308,10 @@ func (r *Receiver) completed() bool { return r.flow.Completed }
 // missing and outstanding tokens under the cap. Tokens whose data never
 // arrived expire after TokenTimeout of silence and are re-issued.
 func (r *Receiver) demand() bool {
-	if r.flow.Completed || r.received >= r.flow.Segs() {
+	if r.flow.Completed || r.asm.Full() {
 		return false
 	}
-	tokened := r.received - r.cfg.FreeSegs // free segs arrive untokened
+	tokened := r.asm.Received - r.cfg.FreeSegs // free segs arrive untokened
 	if tokened < 0 {
 		tokened = 0
 	}
@@ -448,36 +351,10 @@ func (r *Receiver) Handle(pkt *netem.Packet) {
 	}
 	r.lastArrival = r.eng.Now()
 	r.arbiter.register(r)
-	seq := int(pkt.SubSeq)
-	if seq < len(r.got) && !r.got[seq] {
-		r.got[seq] = true
-		r.received++
-		r.flow.RxBytes += int64(r.flow.SegPayload(seq))
-		r.cfg.Stats.RxBytes.Add(int64(r.flow.SegPayload(seq)))
-		for r.cum < len(r.got) && r.got[r.cum] {
-			r.cum++
-		}
-	} else {
-		r.flow.RedundantSegs++
-	}
-	host := r.flow.Dst.Host
-	ack := host.NewPacket()
-	*ack = netem.Packet{
-		Kind:   netem.KindAckPro,
-		Class:  r.cfg.AckClass,
-		Dst:    r.flow.Src.Host.NodeID(),
-		Flow:   r.flow.ID,
-		Seq:    pkt.SubSeq,
-		SubSeq: uint32(r.cum),
-		Size:   netem.AckSize,
-		SentAt: pkt.SentAt,
-	}
-	host.Send(ack)
-	if r.received >= r.flow.Segs() && !r.flow.Completed {
-		r.flow.Complete(r.eng.Now())
-		r.cfg.Stats.Completed.Inc()
-		r.cfg.Stats.FCT.Observe(int64(r.flow.FCT() / sim.Microsecond))
-		r.cfg.Trace.Add(trace.FlowDone, r.flow.ID, int64(r.flow.FCT()/sim.Microsecond), "fct_us")
+	r.asm.Deliver(r.flow, r.cfg.Stats, int(pkt.SubSeq))
+	core.SendAck(r.flow, netem.KindAckPro, r.cfg.AckClass, pkt, uint32(r.asm.Cum), false)
+	if r.asm.Full() && !r.flow.Completed {
+		core.Complete(r.eng, r.flow, r.cfg.Stats, r.cfg.Trace)
 		return
 	}
 	r.arbiter.wake()
@@ -488,10 +365,7 @@ func (r *Receiver) Handle(pkt *netem.Packet) {
 func Start(eng *sim.Engine, flow *transport.Flow, arb *Arbiter, cfg Config) (*Sender, *Receiver) {
 	s := NewSender(eng, flow, cfg)
 	r := NewReceiver(eng, flow, arb, cfg)
-	flow.Src.Register(flow.ID, s)
-	flow.Dst.Register(flow.ID, r)
-	cfg.Stats.Started.Inc()
-	cfg.Trace.Add(trace.FlowStart, flow.ID, flow.Size, "phost")
+	core.StartPair(flow, s, r, cfg.Stats, cfg.Trace, transport.SchemePHost)
 	s.Begin()
 	return s, r
 }

@@ -1,0 +1,148 @@
+package transport_test
+
+import (
+	"strings"
+	"testing"
+
+	"flexpass/internal/obs"
+	"flexpass/internal/sim"
+	"flexpass/internal/topo"
+	"flexpass/internal/transport"
+	_ "flexpass/internal/transport/schemes"
+	"flexpass/internal/units"
+)
+
+func TestSchemeNamesIncludeBuiltins(t *testing.T) {
+	names := transport.SchemeNames()
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, want := range []string{
+		transport.SchemeDCTCP, transport.SchemeExpressPass, transport.SchemeLayering,
+		transport.SchemeFlexPass, transport.SchemeHoma, transport.SchemePHost,
+		transport.SchemeNaive, transport.SchemeOWF,
+		transport.SchemeFlexPassAltQ, transport.SchemeFlexPassRC3,
+	} {
+		if !have[want] {
+			t.Errorf("built-in scheme %q not registered (have %v)", want, names)
+		}
+	}
+}
+
+func TestNewSchemeUnknown(t *testing.T) {
+	_, err := transport.NewScheme("no-such-scheme", &transport.SchemeEnv{})
+	if err == nil {
+		t.Fatal("NewScheme accepted an unknown name")
+	}
+	if !strings.Contains(err.Error(), "no-such-scheme") ||
+		!strings.Contains(err.Error(), transport.SchemeFlexPass) {
+		t.Fatalf("error should name the scheme and list what is registered: %v", err)
+	}
+}
+
+func TestRegisterSchemeRejectsDuplicates(t *testing.T) {
+	transport.RegisterScheme("registry-test-dup", func(*transport.SchemeEnv) transport.Scheme { return nil })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	transport.RegisterScheme("registry-test-dup", func(*transport.SchemeEnv) transport.Scheme { return nil })
+}
+
+func TestSchemeEnvOptions(t *testing.T) {
+	env := &transport.SchemeEnv{Options: map[string]string{
+		"reactive": "reno", "on": "1", "off": "false", "no": "no",
+	}}
+	if env.Option("reactive") != "reno" || env.Option("missing") != "" {
+		t.Fatal("Option lookup broken")
+	}
+	for key, want := range map[string]bool{"on": true, "off": false, "no": false, "missing": false} {
+		if got := env.BoolOption(key); got != want {
+			t.Errorf("BoolOption(%q) = %v, want %v", key, got, want)
+		}
+	}
+}
+
+func TestSchemeEnvCountersMemoized(t *testing.T) {
+	env := &transport.SchemeEnv{Registry: obs.NewRegistry()}
+	a := env.Counters("x")
+	b := env.Counters("x")
+	if a != b {
+		t.Fatal("Counters not memoized per label")
+	}
+	if c := env.Counters("y"); c == a {
+		t.Fatal("distinct labels share a counter set")
+	}
+	var labels []string
+	env.EachCounters(func(l string, _ transport.Counters) { labels = append(labels, l) })
+	if len(labels) != 2 || labels[0] != "x" || labels[1] != "y" {
+		t.Fatalf("EachCounters order = %v, want [x y]", labels)
+	}
+}
+
+// runScheme builds one registered scheme against a 3-host single-switch
+// micro-fabric, runs a 64kB flow over it, and returns the FCT.
+func runScheme(t *testing.T, name string) sim.Time {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	env := &transport.SchemeEnv{
+		Eng:      eng,
+		LinkRate: 10 * units.Gbps,
+		WQ:       0.5,
+		OracleWQ: 0.5,
+		Spec:     topo.Spec{WQ: 0.5},
+	}
+	sch, err := transport.NewScheme(name, env)
+	if err != nil {
+		t.Fatalf("NewScheme(%q): %v", name, err)
+	}
+	fab := topo.SingleSwitch(eng, 3, topo.Params{
+		LinkRate:  10 * units.Gbps,
+		LinkDelay: 2 * sim.Microsecond,
+		HostDelay: 1 * sim.Microsecond,
+		SwitchBuf: 4500 * units.KB,
+		BufAlpha:  0.25,
+		Profile:   sch.Profile(),
+	})
+	fl := &transport.Flow{
+		ID:   1,
+		Src:  transport.NewAgent(eng, fab.Net.Host(0)),
+		Dst:  transport.NewAgent(eng, fab.Net.Host(2)),
+		Size: 64_000,
+	}
+	sch.Start(fl)
+	if fl.Transport == "" {
+		t.Errorf("scheme %q did not label the flow's transport", name)
+	}
+	eng.Run(500 * sim.Millisecond)
+	if !fl.Completed {
+		t.Fatalf("scheme %q: flow incomplete after 500ms", name)
+	}
+	if fl.RxBytes != fl.Size {
+		t.Fatalf("scheme %q: RxBytes = %d, want %d", name, fl.RxBytes, fl.Size)
+	}
+	return fl.FCT()
+}
+
+// TestEveryRegisteredSchemeRuns is the registry's contract test: every
+// scheme in the registry must compose into a working transport on a
+// micro-fabric, deterministically.
+func TestEveryRegisteredSchemeRuns(t *testing.T) {
+	for _, name := range transport.SchemeNames() {
+		if name == "registry-test-dup" { // from the duplicate-registration test
+			continue
+		}
+		name := name
+		t.Run(name, func(t *testing.T) {
+			fct := runScheme(t, name)
+			if fct <= 0 {
+				t.Fatalf("FCT = %v, want > 0", fct)
+			}
+			if again := runScheme(t, name); again != fct {
+				t.Fatalf("non-deterministic: FCT %v then %v", fct, again)
+			}
+		})
+	}
+}

@@ -1,0 +1,44 @@
+package schemes
+
+import (
+	"flexpass/internal/netem"
+	"flexpass/internal/topo"
+	"flexpass/internal/transport"
+	"flexpass/internal/transport/phost"
+)
+
+// phostScheme carries per-destination token arbiters: pHost serialises
+// grants per receiver downlink, so each destination host gets one arbiter
+// shared by every flow that lands on it.
+type phostScheme struct {
+	env      *transport.SchemeEnv
+	cfg      phost.Config
+	arbiters map[*netem.Host]*phost.Arbiter
+}
+
+// newPHost composes the pHost receiver-driven baseline on the FlexPass
+// queue layout.
+func newPHost(env *transport.SchemeEnv) transport.Scheme {
+	cfg := phost.DefaultConfig()
+	cfg.Stats = env.Counters(transport.SchemePHost)
+	cfg.Trace = env.Trace
+	return &phostScheme{
+		env:      env,
+		cfg:      cfg,
+		arbiters: make(map[*netem.Host]*phost.Arbiter),
+	}
+}
+
+func (s *phostScheme) Profile() topo.PortProfile {
+	return topo.FlexPassProfile(s.env.Spec)
+}
+
+func (s *phostScheme) Start(fl *transport.Flow) {
+	arb := s.arbiters[fl.Dst.Host]
+	if arb == nil {
+		arb = phost.NewArbiter(s.env.Eng, fl.Dst.Host, s.env.LinkRate)
+		s.arbiters[fl.Dst.Host] = arb
+	}
+	fl.Transport = transport.SchemePHost
+	phost.Start(s.env.Eng, fl, arb, s.cfg)
+}

@@ -1,0 +1,47 @@
+package transport
+
+import (
+	"testing"
+
+	"flexpass/internal/netem"
+	"flexpass/internal/obs"
+)
+
+type sinkEndpoint struct{ handled int }
+
+func (s *sinkEndpoint) Handle(*netem.Packet) { s.handled++ }
+
+func TestAgentCountsStrayPackets(t *testing.T) {
+	reg := obs.NewRegistry()
+	strays := reg.Counter("transport/agent", "stray_packets")
+	a := &Agent{flows: make(map[uint64]Endpoint)}
+	a.ObserveStrays(strays)
+
+	ep := &sinkEndpoint{}
+	a.Register(7, ep)
+	a.dispatch(&netem.Packet{Flow: 7})
+	if ep.handled != 1 || a.Strays != 0 {
+		t.Fatalf("registered flow: handled=%d strays=%d, want 1 0", ep.handled, a.Strays)
+	}
+
+	a.dispatch(&netem.Packet{Flow: 99}) // never registered
+	a.Unregister(7)
+	a.dispatch(&netem.Packet{Flow: 7}) // straggler after completion
+	if a.Strays != 2 {
+		t.Fatalf("Strays = %d, want 2", a.Strays)
+	}
+	if strays.Value() != 2 {
+		t.Fatalf("registry counter = %d, want 2", strays.Value())
+	}
+	if ep.handled != 1 {
+		t.Fatalf("endpoint saw %d packets after unregister, want 1", ep.handled)
+	}
+}
+
+func TestAgentStraysWithoutObserver(t *testing.T) {
+	a := &Agent{flows: make(map[uint64]Endpoint)}
+	a.dispatch(&netem.Packet{Flow: 1}) // nil stray counter must no-op
+	if a.Strays != 1 {
+		t.Fatalf("Strays = %d, want 1", a.Strays)
+	}
+}

@@ -5,6 +5,7 @@ package transport
 
 import (
 	"flexpass/internal/netem"
+	"flexpass/internal/obs"
 	"flexpass/internal/sim"
 )
 
@@ -19,7 +20,12 @@ type Agent struct {
 	Host *netem.Host
 	Eng  *sim.Engine
 
+	// Strays counts packets that arrived for no registered flow and were
+	// dropped (stragglers after completion, or a mis-wired experiment).
+	Strays int64
+
 	flows map[uint64]Endpoint
+	stray *obs.Counter
 }
 
 // NewAgent installs an agent on h.
@@ -35,12 +41,20 @@ func (a *Agent) Register(flow uint64, ep Endpoint) { a.flows[flow] = ep }
 // Unregister removes the binding for flow.
 func (a *Agent) Unregister(flow uint64) { delete(a.flows, flow) }
 
+// ObserveStrays bills this agent's stray-packet drops to c (typically one
+// run-wide counter shared across agents; nil detaches).
+func (a *Agent) ObserveStrays(c *obs.Counter) { a.stray = c }
+
 func (a *Agent) dispatch(pkt *netem.Packet) {
 	if ep, ok := a.flows[pkt.Flow]; ok {
 		ep.Handle(pkt)
+		return
 	}
 	// Packets for unknown flows (e.g. stragglers after completion) are
-	// dropped silently, as a real stack would RST/ignore.
+	// dropped, as a real stack would RST/ignore — but counted, so a
+	// mis-wired experiment is visible in telemetry.
+	a.Strays++
+	a.stray.Inc()
 }
 
 // Flow describes one application flow and accumulates its statistics.
