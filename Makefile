@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-core check bench bench-sim bench-hot bench-baseline bench-compare forensics-demo clean
+.PHONY: all build vet test race race-core check bench bench-sim bench-hot bench-baseline bench-compare forensics-demo faults-demo clean
 
 all: check
 
@@ -20,10 +20,11 @@ race:
 	$(GO) test -race ./...
 
 # Focused race pass over the packages with shared mutable hot paths (the
-# engine, the network, and the transport stack incl. the scheme registry);
-# faster than the full -race sweep, used as a dedicated CI job.
+# engine, the network, the transport stack incl. the scheme registry, and
+# the fault-plan scheduler that mutates ports mid-run); faster than the
+# full -race sweep, used as a dedicated CI job.
 race-core:
-	$(GO) test -race ./internal/sim/... ./internal/netem/... ./internal/transport/...
+	$(GO) test -race ./internal/sim/... ./internal/netem/... ./internal/transport/... ./internal/faults/...
 
 check: vet build race
 
@@ -71,5 +72,12 @@ forensics-demo:
 	$(GO) run ./cmd/flexsim -incast 0.1 -duration 2 -forensics-out forensics.jsonl
 	$(GO) run ./cmd/flexplot timeline forensics.jsonl
 
+# Scripted fault injection: runs the sample flap+burst plan as a
+# clean-vs-faulted pair and writes the per-scheme degradation report
+# (goodput/tail-FCT deltas, injected drops by cause, recovery time) to
+# degradation.jsonl + degradation.csv.
+faults-demo:
+	$(GO) run ./cmd/flexsim -fault-plan examples/faultplans/flap.json -duration 12 -degradation-out degradation
+
 clean:
-	rm -f cpu.prof mem.prof run.jsonl forensics.jsonl bench-current.json
+	rm -f cpu.prof mem.prof run.jsonl forensics.jsonl bench-current.json degradation.jsonl degradation.csv

@@ -3,8 +3,10 @@ package flexpass
 import (
 	"fmt"
 
+	"flexpass/internal/faults"
 	"flexpass/internal/harness"
 	"flexpass/internal/metrics"
+	"flexpass/internal/netem"
 	"flexpass/internal/obs"
 	"flexpass/internal/sim"
 	"flexpass/internal/topo"
@@ -43,6 +45,23 @@ type (
 	// RunArtifact is a completed run's exported telemetry (manifest,
 	// time series, counters, histograms, trace) — JSONL round-trippable.
 	RunArtifact = obs.Run
+	// FaultPlan is a deterministic scripted fault timeline
+	// (Scenario.FaultPlan); see internal/faults for the event taxonomy.
+	FaultPlan = faults.Plan
+	// FaultEvent is one scripted fault in a plan.
+	FaultEvent = faults.Event
+	// Degradation is a clean-vs-faulted robustness report.
+	Degradation = harness.Degradation
+)
+
+// Fault-plan construction and the graceful-degradation harness.
+var (
+	// ParseFaultPlan decodes and validates a JSON fault plan.
+	ParseFaultPlan = faults.ParsePlan
+	// ParseFaultSpec parses the CLI shorthand (down@LINK@WINDOW,...).
+	ParseFaultSpec = faults.ParseSpec
+	// RunDegradation runs schemes clean and faulted and reports deltas.
+	RunDegradation = harness.RunDegradation
 )
 
 // ReadRunArtifact loads a JSONL run artifact written by
@@ -183,15 +202,44 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 	return tb
 }
 
-// SetLossRate injects random non-congestion loss on the switch egress
-// toward host dst (both data and, if reverse is true, the host's own NIC
-// egress: ACKs and credits too).
+// SetLossRate injects random non-congestion loss around host dst,
+// symmetric in mechanism on both directions:
+//
+//   - forward: every last-hop switch egress that delivers to host dst
+//     (data, ACKs, and credits arriving at the host);
+//   - reverse (when true): additionally the host's own NIC egress
+//     (everything the host itself sends).
+//
+// The last hop is resolved by port peer identity, not registration
+// index — on a DumbbellPairs fabric port 0 of switch 0 is the core
+// link, so the old index-based lookup degraded the wrong link. Loss
+// goes through the port fault API (netem.Port.SetLossRate, the
+// Bernoulli case of the Gilbert–Elliott model), so drops are counted
+// in Port.FaultStats and observed as fault drops. Rate 0 clears.
 func (tb *Testbed) SetLossRate(dst int, rate float64, reverse bool) {
-	sw := tb.Fabric.Net.Switches[0]
-	sw.Ports()[dst].SetLossRate(rate)
+	id := tb.Fabric.Net.Host(dst).NodeID()
+	ports := tb.Fabric.Net.PortsTo(id)
+	if len(ports) == 0 {
+		panic(fmt.Sprintf("flexpass: no egress delivers to host %d", dst))
+	}
+	for _, p := range ports {
+		p.SetLossRate(rate)
+	}
 	if reverse {
 		tb.Fabric.Net.Host(dst).NIC().SetLossRate(rate)
 	}
+}
+
+// FaultPort returns the last-hop switch egress toward host dst — the
+// port SetLossRate degrades — for direct use with the port fault API
+// (SetDown, SetRateFraction, SetGilbertElliott, SetCreditLossRate).
+func (tb *Testbed) FaultPort(dst int) *netem.Port {
+	id := tb.Fabric.Net.Host(dst).NodeID()
+	ports := tb.Fabric.Net.PortsTo(id)
+	if len(ports) == 0 {
+		panic(fmt.Sprintf("flexpass: no egress delivers to host %d", dst))
+	}
+	return ports[0]
 }
 
 // StartFlow begins a flow of size bytes from host src to host dst using

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"flexpass/internal/faults"
 	"flexpass/internal/forensics"
 	"flexpass/internal/harness"
 	"flexpass/internal/obs"
@@ -27,7 +28,7 @@ import (
 var (
 	outDir    = flag.String("out", "results", "output directory for CSV files")
 	full      = flag.Bool("full", false, "paper-scale fabric and durations")
-	figs      = flag.String("figs", "all", "comma-separated figure list (1,5,7,8,9,10,11,14,15,17,18,queue) or 'all'")
+	figs      = flag.String("figs", "all", "comma-separated figure list (1,5,7,8,9,10,11,14,15,17,18,queue,robustness) or 'all'")
 	seed      = flag.Int64("seed", 1, "random seed")
 	seedsN    = flag.Int("seeds", 1, "pool each deployment point over this many seeds")
 	durMS     = flag.Float64("dur", 0, "override flow arrival window (milliseconds)")
@@ -38,6 +39,8 @@ var (
 	forOut    = flag.String("forensics-out", "", "run the base scenario with the forensic plane and write its artifact here (skips the figure sweeps)")
 	traceFlow = flag.String("trace-flow", "", "comma-separated flow IDs whose timelines are always exported on -forensics-out runs")
 	pprofOut  = flag.String("pprof", "", "write a CPU profile of the experiment run to this file")
+	faultFile = flag.String("fault-plan", "", "JSON fault plan for the robustness run (default: a built-in ToR-uplink flap + burst-loss plan)")
+	faultSpec = flag.String("fault", "", "inline fault shorthand for the robustness run (see flexsim -fault)")
 )
 
 func main() {
@@ -176,6 +179,9 @@ func main() {
 	}
 	if sel("ablations") || all {
 		ablations(base)
+	}
+	if sel("robustness") {
+		robustness(base)
 	}
 	fmt.Printf("\nall requested experiments done in %v; CSVs in %s/\n",
 		time.Since(start).Round(time.Second), *outDir)
@@ -423,6 +429,43 @@ func ablations(base harness.Scenario) {
 		})
 	}
 	writeCSV("ablations.csv", []string{"variant", "p99_small_us", "avg_all_us", "reorder_kb", "timeouts", "redundant_frac"}, csv)
+}
+
+// defaultFaultPlan is the built-in robustness scenario: flap one ToR
+// downlink for 1ms, then 4ms of bursty loss on a ToR uplink. Both port
+// names exist in the small and paper Clos alike.
+func defaultFaultPlan() *faults.Plan {
+	p, err := faults.ParseSpec(
+		"down@tor0.0->h0.0.0@2ms-3ms,burst@tor0.0<->agg0.0:fwd@4ms-8ms")
+	if err != nil {
+		panic(err) // static spec; cannot fail
+	}
+	p.Name = "builtin-flap-burst"
+	return p
+}
+
+func robustness(base harness.Scenario) {
+	plan := defaultFaultPlan()
+	var err error
+	if *faultFile != "" {
+		var data []byte
+		if data, err = os.ReadFile(*faultFile); err == nil {
+			plan, err = faults.ParsePlan(data)
+		}
+	} else if *faultSpec != "" {
+		plan, err = faults.ParseSpec(*faultSpec)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Robustness: graceful degradation under scripted faults ==")
+	d := harness.RunDegradation(base, plan, nil)
+	fmt.Print(d.String())
+	stem := filepath.Join(*outDir, "robustness")
+	if err := d.WriteFiles(stem); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  degradation report in %s.csv and %s.jsonl\n", stem, stem)
 }
 
 func fig18(base harness.Scenario) {

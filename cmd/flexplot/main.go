@@ -251,6 +251,18 @@ func timelineCmd(args []string) {
 		fmt.Println()
 	}
 
+	if len(run.Faults) > 0 {
+		fmt.Printf("%d fault-plan actions:\n", len(run.Faults))
+		for _, f := range run.Faults {
+			line := fmt.Sprintf("  %12v  ⚡ %-12s %s", sim.Time(f.AtPs), f.Kind, f.Link)
+			if f.Value != 0 {
+				line += fmt.Sprintf(" (%g)", f.Value)
+			}
+			fmt.Println(line)
+		}
+		fmt.Println()
+	}
+
 	if *flow == 0 {
 		tls := run.Timelines()
 		fmt.Printf("%d flow timelines (render one with -flow <id>):\n", len(tls))
@@ -314,6 +326,15 @@ func timelineCmd(args []string) {
 	}
 	for _, ev := range t.Events {
 		rows = append(rows, row{ev.AtPs, fmt.Sprintf("◆    %-12s seq=%d %s", ev.Kind, ev.Seq, ev.Note)})
+	}
+	// Fault actions interleave so the reader sees the flow's hops against
+	// the fault window that explains them.
+	for _, f := range run.Faults {
+		val := ""
+		if f.Value != 0 {
+			val = fmt.Sprintf(" (%g)", f.Value)
+		}
+		rows = append(rows, row{f.AtPs, fmt.Sprintf("⚡    %-12s %s%s", f.Kind, f.Link, val)})
 	}
 	sort.SliceStable(rows, func(i, j int) bool { return rows[i].at < rows[j].at })
 	skipped := 0

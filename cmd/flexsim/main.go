@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"flexpass/internal/faults"
 	"flexpass/internal/forensics"
 	"flexpass/internal/harness"
 	"flexpass/internal/metrics"
@@ -46,6 +47,10 @@ func main() {
 		traceFlow  = flag.String("trace-flow", "", "comma-separated flow IDs whose timelines are always exported (implies forensics)")
 		pprofOut   = flag.String("pprof", "", "write a CPU profile of the simulation to this file")
 		poolPkts   = flag.Bool("pool-packets", false, "recycle consumed frames through a per-network free list (results identical; lower GC pressure)")
+		faultPlan  = flag.String("fault-plan", "", "JSON fault-plan file (see internal/faults); runs the scheme clean and faulted and prints a degradation report")
+		faultSpec  = flag.String("fault", "", "inline fault shorthand, e.g. 'down@sw0->h1@2ms-3ms,burst@tor*@1ms-5ms'; same behavior as -fault-plan")
+		faultOne   = flag.Bool("fault-single", false, "with a fault plan: run once faulted instead of the clean-vs-faulted pair (composes with -telemetry-out/-forensics-out)")
+		degradeOut = flag.String("degradation-out", "", "stem for the degradation report artifact; writes <stem>.jsonl and <stem>.csv")
 	)
 	flag.Parse()
 
@@ -149,6 +154,46 @@ func main() {
 		}
 		sc.Forensics = fo
 	}
+	var plan *faults.Plan
+	if *faultPlan != "" && *faultSpec != "" {
+		fmt.Fprintln(os.Stderr, "-fault-plan and -fault are mutually exclusive")
+		os.Exit(1)
+	}
+	if *faultPlan != "" {
+		data, err := os.ReadFile(*faultPlan)
+		if err == nil {
+			plan, err = faults.ParsePlan(data)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if plan.Name == "" {
+			plan.Name = *faultPlan
+		}
+	} else if *faultSpec != "" {
+		var err error
+		if plan, err = faults.ParseSpec(*faultSpec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if plan != nil && !*faultOne {
+		// Degradation mode: run the selected scheme clean and faulted on
+		// the same seed and report the deltas.
+		d := harness.RunDegradation(sc, plan, []harness.Scheme{sc.Scheme})
+		fmt.Print(d.String())
+		if *degradeOut != "" {
+			if err := d.WriteFiles(*degradeOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "degradation report written to %s.jsonl and %s.csv\n", *degradeOut, *degradeOut)
+		}
+		return
+	}
+	sc.FaultPlan = plan
+
 	var profFile *os.File
 	if *pprofOut != "" {
 		f, err := os.Create(*pprofOut)
@@ -232,6 +277,11 @@ func main() {
 	to := c.SumInt(metrics.Filter{}, func(r metrics.FlowRecord) int { return r.Timeouts })
 	fmt.Printf("timeouts: %d, selective drops: %d, credit drops: %d, data drops: %d\n",
 		to, res.DropsRed, res.DropsCredit, res.DropsOther)
+	if res.Faults != nil {
+		fs := res.FaultDrops
+		fmt.Printf("faults: %d actions applied, %d packets destroyed (link-down %d, burst %d, credit %d)\n",
+			len(res.Faults.Actions), fs.Injected, fs.LinkDown, fs.BurstLoss, fs.CreditLoss)
+	}
 	if sc.SampleQueues {
 		fmt.Printf("Q1 occupancy: avg %dB (red %dB), p90 %dB (red %dB)\n",
 			res.QueueAvg, res.QueueRedAvg, res.QueueP90, res.QueueRedP90)

@@ -1,0 +1,267 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"flexpass/internal/faults"
+	"flexpass/internal/metrics"
+	"flexpass/internal/obs"
+	"flexpass/internal/sim"
+	"flexpass/internal/topo"
+	"flexpass/internal/transport"
+	"flexpass/internal/units"
+	"flexpass/internal/workload"
+)
+
+// flapPlan is the canonical flap-and-recover micro-plan for the
+// schemeDigestScenario fabric: a 1ms blackhole on one ToR downlink,
+// then 2ms of Gilbert–Elliott burst loss on the pod-0 ToR uplink.
+func flapPlan(t *testing.T) *faults.Plan {
+	t.Helper()
+	p, err := faults.ParseSpec(
+		"down@tor0.0->h0.0.0@2ms-3ms,burst@tor0.0<->agg0.0:fwd@4ms-6ms@1.0@8@200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Name = "flap-and-recover"
+	return p
+}
+
+// faultScenario is schemeDigestScenario with a pinned trace instead of
+// the random workload, so traffic is guaranteed to cross both faulted
+// links inside their windows regardless of scheme: hosts 0–3 hang off
+// tor0.0 (so flows to host 0 ride "tor0.0->h0.0.0" through the 2–3ms
+// blackhole) and hosts 4–7 off tor1.0 (so pod-0-sourced inter-pod flows
+// ride "tor0.0<->agg0.0:fwd" through the 4–6ms burst window). The drain
+// is long enough for RTO-backoff chains (MinRTO 4ms, doubling) to
+// finish.
+func faultScenario(scheme Scheme) Scenario {
+	sc := schemeDigestScenario(scheme)
+	sc.Duration = 8 * sim.Millisecond
+	sc.Drain = 300 * sim.Millisecond
+	sc.TraceFlows = []workload.FlowSpec{
+		{Src: 4, Dst: 0, Size: 3_000_000, At: 500 * sim.Microsecond}, // spans the blackhole
+		{Src: 7, Dst: 3, Size: 500_000, At: 500 * sim.Microsecond},
+		{Src: 6, Dst: 2, Size: 1_000_000, At: sim.Millisecond},       // reverse uplink, untouched
+		{Src: 5, Dst: 0, Size: 500_000, At: 2200 * sim.Microsecond},  // starts inside the blackhole
+		{Src: 0, Dst: 4, Size: 800_000, At: 2500 * sim.Microsecond},  // returning acks/credits blackholed
+		{Src: 1, Dst: 2, Size: 300_000, At: 2500 * sim.Microsecond},  // intra-rack control
+		{Src: 1, Dst: 5, Size: 3_000_000, At: 3500 * sim.Microsecond}, // spans the burst window
+		{Src: 2, Dst: 6, Size: 400_000, At: 4500 * sim.Microsecond},  // starts inside the burst
+		{Src: 5, Dst: 1, Size: 600_000, At: 5 * sim.Millisecond},
+		{Src: 3, Dst: 7, Size: 500_000, At: 7 * sim.Millisecond}, // recovery phase
+	}
+	return sc
+}
+
+// TestFlapAndRecoverAllSchemes runs the flap-and-recover plan under
+// every registered scheme and asserts graceful degradation: faults were
+// actually injected, every flow still completes inside the generous
+// drain, and the stray-packet / RTO counters stay bounded.
+func TestFlapAndRecoverAllSchemes(t *testing.T) {
+	for _, name := range transport.SchemeNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc := faultScenario(Scheme(name))
+			sc.FaultPlan = flapPlan(t)
+			sc.Telemetry = &obs.Options{}
+			res := Run(sc)
+
+			if res.FaultDrops.Injected == 0 {
+				t.Fatal("plan injected no drops; fault window missed all traffic")
+			}
+			if res.FaultDrops.LinkDown == 0 {
+				t.Error("no link-down drops despite a 1ms blackhole")
+			}
+			if n := res.Flows.Count(metrics.Filter{}); n == 0 {
+				t.Fatal("scenario generated no flows")
+			}
+			for _, r := range res.Flows.Records {
+				if !r.Completed {
+					t.Errorf("flow %d (%s, %dB, start %v) never completed", r.ID, r.Transport, r.Size, r.Start)
+				}
+				if r.Timeouts > 10 {
+					t.Errorf("flow %d took %d RTOs; backoff not converging", r.ID, r.Timeouts)
+				}
+			}
+			// Strays (deliveries for flows the agent no longer tracks) can
+			// happen when a blackholed-then-retransmitted segment races the
+			// original, but must stay marginal.
+			for _, c := range res.Telemetry.Counters {
+				if c.Entity == "transport/agent" && c.Metric == "stray_packets" && c.Value > 200 {
+					t.Errorf("stray_packets = %d; fault recovery is leaking packets", c.Value)
+				}
+			}
+			// The per-cause port counters ride in the artifact and must
+			// agree with the run totals.
+			var linkDown int64
+			for _, c := range res.Telemetry.Counters {
+				if c.Metric == "faults_link_down" {
+					linkDown += c.Value
+				}
+			}
+			if linkDown != res.FaultDrops.LinkDown {
+				t.Errorf("registry faults_link_down sums to %d, run counted %d", linkDown, res.FaultDrops.LinkDown)
+			}
+		})
+	}
+}
+
+// TestFaultedDigestDeterminism: same seed + same plan ⇒ bit-identical
+// flow digests, with at least one LinkDown/LinkUp flap and one
+// BurstLoss interval in effect (the determinism contract of the fault
+// subsystem).
+func TestFaultedDigestDeterminism(t *testing.T) {
+	run := func() (*Result, string) {
+		sc := faultScenario(SchemeFlexPass)
+		sc.FaultPlan = flapPlan(t)
+		res := Run(sc)
+		return res, recordsDigest(res)
+	}
+	res1, d1 := run()
+	res2, d2 := run()
+	if d1 != d2 {
+		t.Fatalf("faulted run not deterministic: %s vs %s", d1, d2)
+	}
+	if res1.FaultDrops.LinkDown == 0 || res1.FaultDrops.BurstLoss == 0 {
+		t.Fatalf("plan must exercise both mechanisms: %+v", res1.FaultDrops)
+	}
+	if res1.FaultDrops != res2.FaultDrops {
+		t.Fatalf("fault accounting diverged: %+v vs %+v", res1.FaultDrops, res2.FaultDrops)
+	}
+	// The action logs replay identically too.
+	if len(res1.Faults.Actions) != len(res2.Faults.Actions) {
+		t.Fatalf("action logs diverged: %d vs %d", len(res1.Faults.Actions), len(res2.Faults.Actions))
+	}
+	for i := range res1.Faults.Actions {
+		if res1.Faults.Actions[i] != res2.Faults.Actions[i] {
+			t.Fatalf("action %d diverged: %+v vs %+v", i, res1.Faults.Actions[i], res2.Faults.Actions[i])
+		}
+	}
+	// And the clean run differs — the faults are actually in the digest.
+	clean := faultScenario(SchemeFlexPass)
+	if dc := recordsDigest(Run(clean)); dc == d1 {
+		t.Fatal("faulted digest equals clean digest; plan had no effect")
+	}
+}
+
+// TestFaultArtifactLines: applied fault actions ride the JSONL artifact
+// as "fault" lines and survive a write/read round trip alongside the
+// forensics plane (which records the fault drops hop-by-hop).
+func TestFaultArtifactLines(t *testing.T) {
+	sc := faultScenario(SchemeFlexPass)
+	sc.FaultPlan = flapPlan(t)
+	sc.Telemetry = &obs.Options{}
+	res := Run(sc)
+
+	if len(res.Telemetry.Faults) != len(res.Faults.Actions) {
+		t.Fatalf("artifact carries %d fault lines, run fired %d actions",
+			len(res.Telemetry.Faults), len(res.Faults.Actions))
+	}
+	var buf bytes.Buffer
+	if err := res.Telemetry.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Faults) != len(res.Telemetry.Faults) {
+		t.Fatalf("round trip kept %d/%d fault lines", len(back.Faults), len(res.Telemetry.Faults))
+	}
+	kinds := map[string]bool{}
+	for _, f := range back.Faults {
+		kinds[f.Kind] = true
+		if f.Link == "" || f.AtPs < 0 {
+			t.Fatalf("malformed fault line %+v", f)
+		}
+	}
+	for _, want := range []string{"link-down", "link-up", "burst-loss"} {
+		if !kinds[want] {
+			t.Fatalf("artifact lacks a %q fault line: %v", want, kinds)
+		}
+	}
+}
+
+// TestRunDegradationReport: the clean-vs-faulted pair runner produces a
+// coherent report — clean runs inject nothing, faulted runs inject
+// something, and both exports are well-formed.
+func TestRunDegradationReport(t *testing.T) {
+	base := faultScenario(SchemeFlexPass)
+	plan := flapPlan(t)
+	d := RunDegradation(base, plan, []Scheme{SchemeFlexPass, Scheme(transport.SchemeDCTCP)})
+
+	if len(d.Schemes) != 2 {
+		t.Fatalf("report covers %d schemes, want 2", len(d.Schemes))
+	}
+	if d.PlanEnd != int64(plan.End()) || d.Events != 2 {
+		t.Fatalf("plan header wrong: %+v", d)
+	}
+	for _, s := range d.Schemes {
+		if s.Clean.InjectedDrops != 0 {
+			t.Fatalf("%s: clean run injected %d drops", s.Scheme, s.Clean.InjectedDrops)
+		}
+		if s.Faulted.InjectedDrops == 0 {
+			t.Fatalf("%s: faulted run injected nothing", s.Scheme)
+		}
+		if s.Clean.GoodputGbps <= 0 || s.Faulted.GoodputGbps <= 0 {
+			t.Fatalf("%s: degenerate goodput: %+v", s.Scheme, s)
+		}
+		if s.Clean.Flows != s.Faulted.Flows {
+			t.Fatalf("%s: clean and faulted saw different workloads (%d vs %d flows)",
+				s.Scheme, s.Clean.Flows, s.Faulted.Flows)
+		}
+		if s.RecoveryPs < 0 {
+			t.Fatalf("%s: negative recovery time", s.Scheme)
+		}
+	}
+
+	var jsonl, csv bytes.Buffer
+	if err := d.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(jsonl.String(), "\n"); lines != 3 {
+		t.Fatalf("JSONL has %d lines, want header + 2 schemes", lines)
+	}
+	if lines := strings.Count(csv.String(), "\n"); lines != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2 rows", lines)
+	}
+	if !strings.Contains(csv.String(), "flexpass") || !strings.Contains(jsonl.String(), `"degradation-plan"`) {
+		t.Fatalf("exports missing expected content:\n%s\n%s", csv.String(), jsonl.String())
+	}
+}
+
+// TestScenarioFaultPlanJSONRoundTrip: a Scenario carrying a fault plan
+// still encodes to JSON (the harness scenario is part of exported run
+// manifests and test fixtures).
+func TestScenarioFaultPlanJSONRoundTrip(t *testing.T) {
+	plan, err := faults.ParsePlan([]byte(
+		`{"name":"rt","events":[{"kind":"credit-loss","link":"*","at":"1ms","end":"2ms","rate":0.25}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{
+		Seed:      3,
+		Clos:      topo.ClosParams{Pods: 2, AggPerPod: 1, TorPerPod: 1, HostsPerTor: 2, Cores: 1},
+		LinkRate:  10 * units.Gbps,
+		Workload:  workload.WebSearch,
+		FaultPlan: plan,
+	}
+	blob, err := json.Marshal(sc.FaultPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := faults.ParsePlan(blob)
+	if err != nil {
+		t.Fatalf("plan did not survive the round trip: %v", err)
+	}
+	if out.Events[0].Rate != 0.25 || out.Name != "rt" {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+}

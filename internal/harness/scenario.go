@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"time"
 
+	"flexpass/internal/faults"
 	"flexpass/internal/forensics"
 	"flexpass/internal/metrics"
 	"flexpass/internal/netem"
@@ -84,6 +85,16 @@ type Scenario struct {
 	// exported artifact. Like telemetry it is observation-only: flow
 	// results stay byte-identical to a plain run with the same seed.
 	Forensics *forensics.Options
+
+	// FaultPlan, when non-nil, injects the scripted fault timeline into
+	// the run (see internal/faults): link flaps, rate degradation, burst
+	// loss, and credit-targeted loss on named ports. The plan is applied
+	// at a fixed point — after fabric construction, before flow-arrival
+	// scheduling — so a (seed, plan) pair replays bit-identically. Run
+	// panics if a link pattern matches no port in the built fabric; plans
+	// from user input should come through faults.ParsePlan / ParseSpec,
+	// which validate structure up front.
+	FaultPlan *faults.Plan
 
 	// DisableProRetx ablates FlexPass's proactive retransmission (§4.2).
 	DisableProRetx bool
@@ -167,6 +178,11 @@ type Result struct {
 	// Scenario.Forensics is set). The same data rides in Telemetry's
 	// artifact as "forensics" lines.
 	Forensics *forensics.Report
+	// Faults is the fired fault-action log (when Scenario.FaultPlan is
+	// set); FaultDrops totals packets the plan's faults destroyed. The
+	// action log also rides in Telemetry's artifact as "fault" lines.
+	Faults     *faults.Applied
+	FaultDrops netem.FaultStats
 }
 
 // WorkloadRand returns the deterministic random stream Run uses for
@@ -341,6 +357,18 @@ func Run(sc Scenario) *Result {
 
 	res := &Result{Scenario: sc, OracleWQ: oracleWQ}
 
+	// Apply the fault plan at a fixed point in setup — after the fabric
+	// and observers exist, before any flow arrival is scheduled — so the
+	// engine's event tie-break order is a pure function of the scenario.
+	if sc.FaultPlan != nil {
+		applied, err := faults.Apply(sc.FaultPlan, eng, fab.Net)
+		if err != nil {
+			panic(fmt.Sprintf("harness: %v", err))
+		}
+		applied.Register(reg)
+		res.Faults = applied
+	}
+
 	var all []*transport.Flow
 	incastOf := make(map[uint64]bool)
 	nextID := uint64(1)
@@ -453,6 +481,11 @@ func Run(sc Scenario) *Result {
 		res.QueueRedAvg, res.QueueRedP90 = metrics.Stats(reds, 0.9)
 	}
 	countPort := func(p *netem.Port) {
+		fs := p.FaultStats()
+		res.FaultDrops.Injected += fs.Injected
+		res.FaultDrops.LinkDown += fs.LinkDown
+		res.FaultDrops.BurstLoss += fs.BurstLoss
+		res.FaultDrops.CreditLoss += fs.CreditLoss
 		for q := 0; q < p.NumQueues(); q++ {
 			st := p.QueueStats(q)
 			res.DropsRed += st.DroppedRed
@@ -533,6 +566,7 @@ func Run(sc Scenario) *Result {
 		if res.Forensics != nil {
 			res.Telemetry.Forensics = res.Forensics.Export()
 		}
+		res.Telemetry.Faults = res.Faults.Export()
 	}
 	return res
 }

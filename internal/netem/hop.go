@@ -28,12 +28,18 @@ const (
 	// DropSharedBuffer: the Choudhury–Hahne dynamic threshold refused
 	// admission to the shared buffer.
 	DropSharedBuffer
-	// DropFault: injected non-congestion loss (SetLossRate).
+	// DropFault: injected non-congestion loss (SetLossRate /
+	// SetGilbertElliott burst loss).
 	DropFault
+	// DropLinkDown: the port was administratively down (SetDown).
+	DropLinkDown
+	// DropCreditLoss: credit-targeted injected loss (SetCreditLossRate).
+	DropCreditLoss
 )
 
 var dropReasonNames = [...]string{
 	"red-threshold", "private-cap", "shared-buffer", "fault",
+	"link-down", "credit-loss",
 }
 
 // String names the reason.

@@ -43,3 +43,41 @@ func (n *Network) Node(id NodeID) Node { return n.nodes[id] }
 
 // Host returns host i (panics if out of range).
 func (n *Network) Host(i int) *Host { return n.Hosts[i] }
+
+// EachPort visits every egress port in the network — switch egresses
+// first (switch registration order, then port order), host NICs after —
+// a deterministic order the fault layer relies on when one link pattern
+// matches several ports.
+func (n *Network) EachPort(f func(*Port)) {
+	for _, s := range n.Switches {
+		for _, p := range s.ports {
+			f(p)
+		}
+	}
+	for _, h := range n.Hosts {
+		f(h.nic)
+	}
+}
+
+// FindPort returns the port with the exact name, or nil.
+func (n *Network) FindPort(name string) *Port {
+	var found *Port
+	n.EachPort(func(p *Port) {
+		if found == nil && p.name == name {
+			found = p
+		}
+	})
+	return found
+}
+
+// PortsTo returns every egress port that delivers directly to the node
+// with the given ID (the last hop toward a host), in EachPort order.
+func (n *Network) PortsTo(id NodeID) []*Port {
+	var out []*Port
+	n.EachPort(func(p *Port) {
+		if peer := p.Peer(); peer != nil && peer.NodeID() == id {
+			out = append(out, p)
+		}
+	})
+	return out
+}

@@ -86,8 +86,15 @@ type Port struct {
 
 	pool *PacketPool // optional packet free list; drops recycle through it
 
-	lossRate float64
-	faults   FaultStats
+	// Fault-injection state (see faults.go). effRate is the current
+	// serialization rate: rate unless degraded by SetRateFraction.
+	down       bool
+	effRate    units.Rate
+	ge         GilbertElliott
+	geOn       bool
+	geBad      bool
+	creditLoss float64
+	faults     FaultStats
 
 	hop HopObserver // optional read-only packet-event observer
 
@@ -110,6 +117,7 @@ func NewPort(eng *sim.Engine, name string, rate units.Rate, prop sim.Time, cfg P
 		eng:      eng,
 		name:     name,
 		rate:     rate,
+		effRate:  rate,
 		prop:     prop,
 		classify: cfg.Classify,
 		shared:   shared,
@@ -170,6 +178,11 @@ func (p *Port) deliverHead() {
 // Connect attaches the receiving peer. Must be called before any Send.
 func (p *Port) Connect(peer Node) { p.peer = peer }
 
+// Peer returns the node this port delivers to (nil before Connect). The
+// fault layer uses it to resolve "the egress toward host X" by topology
+// rather than by port-registration index.
+func (p *Port) Peer() Node { return p.peer }
+
 // SetOwner records the node the port belongs to (for diagnostics).
 func (p *Port) SetOwner(id NodeID) { p.owner = id }
 
@@ -200,12 +213,7 @@ func (p *Port) NumQueues() int { return len(p.queues) }
 // Send classifies, admits, and enqueues pkt, then kicks the scheduler.
 // Drops are counted in the queue stats; the packet is silently discarded.
 func (p *Port) Send(pkt *Packet) {
-	if p.lossRate > 0 && p.eng.Rand().Float64() < p.lossRate {
-		p.faults.Injected++
-		if p.hop != nil {
-			p.hop.HopDrop(p.eng.Now(), p, -1, pkt, DropFault)
-		}
-		p.pool.put(pkt)
+	if p.injectFault(pkt) {
 		return
 	}
 	qi := int(pkt.Class)
@@ -288,9 +296,11 @@ func (p *Port) Send(pkt *Packet) {
 	p.kick()
 }
 
-// kick starts a transmission if the port is idle and a packet is eligible.
+// kick starts a transmission if the port is up, idle, and a packet is
+// eligible. While administratively down the serializer stays paused;
+// SetDown(false) re-kicks it.
 func (p *Port) kick() {
-	if p.busy {
+	if p.busy || p.down {
 		return
 	}
 	pkt, q, wait := p.selectNext()
@@ -313,7 +323,7 @@ func (p *Port) kick() {
 		q.nextEligible = next + q.cfg.RateLimit.TxTime(pkt.Size)
 	}
 	p.busy = true
-	tx := p.rate.TxTime(pkt.Size)
+	tx := p.effRate.TxTime(pkt.Size)
 	if p.hop != nil {
 		now := p.eng.Now()
 		p.hop.HopDequeue(now, p, q.idx, pkt, now-pkt.enqAt, tx)

@@ -23,6 +23,12 @@ func (p *Port) Register(reg *obs.Registry) {
 	reg.CounterFunc(ent, "tx_bytes", func() int64 { return p.stats.TxBytes })
 	reg.CounterFunc(ent, "tx_packets", func() int64 { return p.stats.TxPackets })
 	reg.CounterFunc(ent, "faults_injected", func() int64 { return p.faults.Injected })
+	// Per-cause injected-loss breakdown (see FaultStats): registered
+	// unconditionally so degradation artifacts can attribute every
+	// injected drop to the fault event that caused it.
+	reg.CounterFunc(ent, "faults_link_down", func() int64 { return p.faults.LinkDown })
+	reg.CounterFunc(ent, "faults_burst_loss", func() int64 { return p.faults.BurstLoss })
+	reg.CounterFunc(ent, "faults_credit_loss", func() int64 { return p.faults.CreditLoss })
 	for i, q := range p.queues {
 		q := q
 		qe := fmt.Sprintf("%s/q%d", ent, i)

@@ -13,7 +13,9 @@ import (
 
 // SchemaVersion identifies the JSONL artifact layout. Bump on any
 // incompatible change to the line structs below.
-const SchemaVersion = 1
+//
+// v2 added the "fault" line type (applied fault-plan actions).
+const SchemaVersion = 2
 
 // Manifest is the run's self-description: everything needed to
 // re-run or interpret the artifact without the producing binary.
@@ -74,9 +76,22 @@ type TraceData struct {
 	Note string `json:"note,omitempty"`
 }
 
+// FaultData is one applied fault-plan action: what the plan did to which
+// link, and when. Recovery analysis reads these back to locate the fault
+// window without re-parsing the plan.
+type FaultData struct {
+	AtPs int64  `json:"at_ps"`
+	Kind string `json:"kind"` // fault event kind, e.g. "link-down", "burst-loss"
+	Link string `json:"link"` // resolved port name the action was applied to
+	// Value is the kind-specific magnitude: rate fraction for
+	// "rate-degrade", loss probability for "burst-loss"/"credit-loss",
+	// 0 for up/down/restore actions.
+	Value float64 `json:"value,omitempty"`
+}
+
 // Run is a complete run artifact: one manifest plus every collected
-// series, closing counter, histogram, trace event, and forensics line
-// (auditor violations and flow timelines).
+// series, closing counter, histogram, trace event, forensics line
+// (auditor violations and flow timelines), and applied fault action.
 type Run struct {
 	Manifest  Manifest
 	Series    []SeriesData
@@ -84,6 +99,7 @@ type Run struct {
 	Hists     []HistData
 	Trace     []TraceData
 	Forensics []ForensicsData
+	Faults    []FaultData
 }
 
 // Collect assembles a run artifact from the registry's closing values
@@ -161,6 +177,7 @@ type jsonlLine struct {
 	Hist      *HistData      `json:"hist,omitempty"`
 	Trace     *TraceData     `json:"trace,omitempty"`
 	Forensics *ForensicsData `json:"forensics,omitempty"`
+	Fault     *FaultData     `json:"fault,omitempty"`
 }
 
 // WriteJSONL streams the artifact: first the manifest line, then one
@@ -193,6 +210,11 @@ func (r *Run) WriteJSONL(w io.Writer) error {
 	}
 	for i := range r.Forensics {
 		if err := enc.Encode(jsonlLine{Type: "forensics", Forensics: &r.Forensics[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range r.Faults {
+		if err := enc.Encode(jsonlLine{Type: "fault", Fault: &r.Faults[i]}); err != nil {
 			return err
 		}
 	}
@@ -274,6 +296,10 @@ func ReadJSONL(rd io.Reader) (*Run, error) {
 		case "forensics":
 			if l.Forensics != nil {
 				r.Forensics = append(r.Forensics, *l.Forensics)
+			}
+		case "fault":
+			if l.Fault != nil {
+				r.Faults = append(r.Faults, *l.Fault)
 			}
 		default:
 			return r, &CorruptArtifactError{Line: line, Err: fmt.Errorf("unknown line type %q", l.Type)}
