@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-core check bench bench-sim bench-hot bench-baseline bench-compare forensics-demo faults-demo clean
+.PHONY: all build vet test race race-core check bench bench-sim bench-hot bench-baseline bench-compare lake-baseline lake-regression sweep-demo forensics-demo faults-demo clean clean-results
 
 all: check
 
@@ -49,7 +49,7 @@ bench-hot:
 
 # bench-baseline records the hot-path numbers of the current tree into
 # bench-baseline.json; run it on the pre-change commit. bench-compare
-# re-runs the set and writes BENCH_PR3.json with per-metric deltas
+# re-runs the set and writes BENCH_PR6.json with per-metric deltas
 # (negative ns/op, allocs/op, B/op deltas are improvements).
 bench-baseline:
 	@{ $(GO) test -bench '$(HOT_SIM)' -benchmem -benchtime 1s -run '^$$' ./internal/sim/ ; \
@@ -61,8 +61,34 @@ bench-compare:
 	@{ $(GO) test -bench '$(HOT_SIM)' -benchmem -benchtime 1s -run '^$$' ./internal/sim/ ; \
 	   $(GO) test -bench '$(HOT_NETEM)' -benchmem -benchtime 1s -run '^$$' ./internal/netem/ ; } \
 	 | $(GO) run ./cmd/benchjson parse > bench-current.json
-	@$(GO) run ./cmd/benchjson compare bench-baseline.json bench-current.json > BENCH_PR3.json
-	@echo wrote BENCH_PR3.json
+	@$(GO) run ./cmd/benchjson compare bench-baseline.json bench-current.json > BENCH_PR6.json
+	@echo wrote BENCH_PR6.json
+
+# Cross-run regression gate over the result lake. lake-regression runs
+# the fixed-seed CI micro-sweep into lake-ci/ and diffs its index
+# against the checked-in baseline: the simulator is deterministic, so
+# the diff runs at zero tolerance and any drift in goodput, FCT
+# quantiles, drops, or event counts fails the target (perf self-reports
+# are informational only). Re-baseline with lake-baseline after an
+# intentional behavior change and commit ci/lake-baseline.json.
+lake-regression:
+	rm -rf lake-ci
+	$(GO) run ./cmd/flexfarm run -spec ci/microsweep.json -out lake-ci
+	$(GO) run ./cmd/flexfarm diff ci/lake-baseline.json lake-ci
+
+lake-baseline:
+	rm -rf lake-ci
+	$(GO) run ./cmd/flexfarm run -spec ci/microsweep.json -out lake-ci
+	cp lake-ci/index.json ci/lake-baseline.json
+	@echo wrote ci/lake-baseline.json
+
+# 64-scenario example sweep on the tiny fabric: resumable (re-run the
+# target after an interrupt and it picks up where it left off), then a
+# paper-figure style query over the lake it built.
+sweep-demo:
+	$(GO) run ./cmd/flexfarm run -spec examples/sweeps/scaling.json -out results_sweep
+	$(GO) run ./cmd/flexfarm query -lake results_sweep \
+	  -where fault_sig= -group-by scheme,load -agg fct_p99_us:mean,goodput_gbps:mean,count
 
 # Observation-only flow forensics on an incast run: records hop-by-hop
 # packet events, runs the invariant auditors (credit conservation,
@@ -81,3 +107,8 @@ faults-demo:
 
 clean:
 	rm -f cpu.prof mem.prof run.jsonl forensics.jsonl bench-current.json degradation.jsonl degradation.csv
+
+# Remove regenerated sweep/lake outputs. The checked-in results/,
+# results_full/, and results_pooled/ CSVs are figure inputs and stay.
+clean-results:
+	rm -rf lake-ci results_sweep

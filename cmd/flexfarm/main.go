@@ -1,0 +1,264 @@
+// Command flexfarm orchestrates experiment sweeps and queries the
+// result lake they produce.
+//
+//	flexfarm run    -spec sweep.json -out results_sweep [-workers N] [-force] [-v]
+//	flexfarm ingest -lake results_sweep [artifact-dir...]
+//	flexfarm query  -lake results_sweep [-where k=v,...] [-group-by a,b] [-agg m:fn,...] [-csv]
+//	flexfarm bench  -lake results_sweep [-ingest FILE.json...] [-bench NAME] [-metric UNIT]
+//	flexfarm diff   BASELINE CANDIDATE [-tolerance PCT] [-abs X] [-metrics m,...]
+//
+// run expands the sweep spec's cross-product, executes it on all cores
+// with content-addressed, resumable artifacts, and indexes the lake.
+// query answers filter/group-by/aggregate questions — a paper figure
+// like p99 FCT by scheme and load is:
+//
+//	flexfarm query -lake results_sweep -group-by scheme,load -agg fct_p99_us:mean
+//
+// diff compares two lakes (directories or index files) scenario by
+// scenario and exits 1 when any deterministic metric drifts beyond
+// tolerance — the cross-run regression gate CI runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"flexpass/internal/farm"
+	"flexpass/internal/lake"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "run":
+		runCmd(os.Args[2:])
+	case "ingest":
+		ingestCmd(os.Args[2:])
+	case "query":
+		queryCmd(os.Args[2:])
+	case "bench":
+		benchCmd(os.Args[2:])
+	case "diff":
+		diffCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: flexfarm run|ingest|query|bench|diff [flags]  (see `go doc ./cmd/flexfarm`)")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flexfarm:", err)
+	os.Exit(1)
+}
+
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	spec := fs.String("spec", "", "sweep spec JSON file (required)")
+	out := fs.String("out", "", "lake directory to land artifacts and the index in (required)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = all cores)")
+	force := fs.Bool("force", false, "re-run scenarios even when a valid artifact exists")
+	verbose := fs.Bool("v", false, "log one line per scenario outcome")
+	fs.Parse(args)
+	if *spec == "" || *out == "" {
+		fatal(fmt.Errorf("run needs -spec and -out"))
+	}
+	s, err := farm.ParseSpecFile(*spec)
+	if err != nil {
+		fatal(err)
+	}
+	points, err := s.Points()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweep %q: %d scenarios -> %s\n", s.Name, len(points), *out)
+	opt := farm.Options{Workers: *workers, Force: *force}
+	if *verbose {
+		opt.Progress = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+	}
+	rep, err := farm.Execute(points, *out, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweep %q: %d ran, %d resumed, %d failed (of %d)\n",
+		s.Name, rep.Ran, rep.Skipped, len(rep.Failures), rep.Total)
+	for _, f := range rep.Failures {
+		fmt.Fprintf(os.Stderr, "  FAIL %s %s: %s\n", f.Hash, f.Label, f.Error)
+	}
+	if len(rep.Failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+func ingestCmd(args []string) {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	lakeDir := fs.String("lake", "", "lake directory to (re)build the index in (required)")
+	fs.Parse(args)
+	if *lakeDir == "" {
+		fatal(fmt.Errorf("ingest needs -lake"))
+	}
+	dirs := fs.Args()
+	if len(dirs) == 0 {
+		dirs = []string{*lakeDir + "/" + lake.RunsDir}
+	}
+	ix := &lake.Index{}
+	total := 0
+	for _, d := range dirs {
+		n, errs := ix.IngestDir(d)
+		total += n
+		for _, err := range errs {
+			fmt.Fprintln(os.Stderr, "flexfarm: warning:", err)
+		}
+	}
+	ix.Sort()
+	if err := ix.WriteTo(*lakeDir); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "indexed %d runs into %s/%s\n", total, *lakeDir, lake.IndexFile)
+}
+
+func queryCmd(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	lakeDir := fs.String("lake", "", "lake directory or index file (required)")
+	where := fs.String("where", "", "comma-separated filter conditions (k=v, k!=v, k<v, k<=v, k>v, k>=v; globs for strings)")
+	groupBy := fs.String("group-by", "", "comma-separated dimension columns")
+	agg := fs.String("agg", "", "comma-separated aggregates col:fn (fn: mean,sum,min,max,count,p50,p90,p99); default count")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	cols := fs.Bool("columns", false, "list queryable columns and exit")
+	fs.Parse(args)
+	if *cols {
+		fmt.Println(strings.Join(lake.ColumnNames(), "\n"))
+		return
+	}
+	if *lakeDir == "" {
+		fatal(fmt.Errorf("query needs -lake"))
+	}
+	ix, err := lake.Load(*lakeDir)
+	if err != nil {
+		fatal(err)
+	}
+	q := lake.Query{}
+	for _, c := range splitList(*where) {
+		cond, err := lake.ParseCond(c)
+		if err != nil {
+			fatal(err)
+		}
+		q.Where = append(q.Where, cond)
+	}
+	q.GroupBy = splitList(*groupBy)
+	if *agg != "" {
+		if q.Aggs, err = lake.ParseAggs(*agg); err != nil {
+			fatal(err)
+		}
+	}
+	t, err := ix.Run(q)
+	if err != nil {
+		fatal(err)
+	}
+	if *csv {
+		err = t.WriteCSV(os.Stdout)
+	} else {
+		err = t.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func benchCmd(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	lakeDir := fs.String("lake", "", "lake directory or index file (required)")
+	bench := fs.String("bench", "", "filter by benchmark name")
+	metric := fs.String("metric", "", "filter by metric unit (e.g. ns/op)")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	fs.Parse(args)
+	if *lakeDir == "" {
+		fatal(fmt.Errorf("bench needs -lake"))
+	}
+	ix, err := lake.Load(*lakeDir)
+	if err != nil {
+		fatal(err)
+	}
+	// Positional args are benchjson artifacts to ingest before querying.
+	ingested := 0
+	for _, p := range fs.Args() {
+		n, err := ix.IngestBenchFile(p)
+		if err != nil {
+			fatal(err)
+		}
+		ingested += n
+	}
+	if ingested > 0 {
+		ix.Sort()
+		target := *lakeDir
+		if fi, err := os.Stat(target); err == nil && fi.IsDir() {
+			if err := ix.WriteTo(target); err != nil {
+				fatal(err)
+			}
+		} else if err := ix.WriteFile(target); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ingested %d bench metrics\n", ingested)
+	}
+	t := ix.BenchTable(*bench, *metric)
+	if *csv {
+		err = t.WriteCSV(os.Stdout)
+	} else {
+		err = t.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func diffCmd(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	tolPct := fs.Float64("tolerance", 0, "relative drift tolerance in percent")
+	tolAbs := fs.Float64("abs", 0, "absolute drift tolerance")
+	metrics := fs.String("metrics", "", "comma-separated metric columns to gate on (default: the deterministic set)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fatal(fmt.Errorf("diff needs exactly two lakes: flexfarm diff BASELINE CANDIDATE"))
+	}
+	base, err := lake.Load(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cand, err := lake.Load(fs.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	var gate []string
+	if *metrics != "" {
+		gate = splitList(*metrics)
+	}
+	rep, err := lake.Diff(base, cand, lake.Tolerance{Pct: *tolPct, Abs: *tolAbs}, gate)
+	if err != nil {
+		fatal(err)
+	}
+	if err := rep.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if !rep.Clean() {
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

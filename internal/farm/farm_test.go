@@ -1,0 +1,316 @@
+package farm
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flexpass/internal/lake"
+)
+
+// testSpec is a 4-point sweep on the tiny fabric, sized to keep the
+// whole suite fast.
+func testSpec(t *testing.T) *Spec {
+	t.Helper()
+	s, err := ParseSpec([]byte(`{
+		"name": "t",
+		"scheme": ["flexpass", "dctcp"],
+		"topology": ["tiny"],
+		"load": [0.3, 0.6],
+		"deployment": [1.0],
+		"seed": [1],
+		"duration_ms": 0.3,
+		"drain_ms": 1.0
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSpecDefaultsAndExpansion(t *testing.T) {
+	s, err := ParseSpec([]byte(`{"scheme": ["flexpass"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := s.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("minimal spec expanded to %d points", len(pts))
+	}
+	p := pts[0]
+	if p.Topo != "small" || p.Workload != "websearch" || p.Load != 0.5 || p.Seed != 1 {
+		t.Errorf("defaults wrong: %+v", p)
+	}
+	if p.DurationMS != 2 || p.DrainMS != 10 {
+		t.Errorf("duration defaults wrong: %+v", p)
+	}
+
+	pts, err = testSpec(t).Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("2 schemes x 2 loads expanded to %d points", len(pts))
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []string{
+		`{}`,                           // no schemes
+		`{"scheme": ["nosuchscheme"]}`, // unregistered scheme
+		`{"scheme": ["flexpass"], "topology": ["x"]}`, // unknown topology
+		`{"scheme": ["flexpass"], "workload": ["x"]}`, // unknown workload
+		`{"scheme": ["flexpass"], "load": [1.5]}`,     // load out of range
+		`{"scheme": ["flexpass"], "wq": [0]}`,         // wq out of range
+		`{"scheme": ["flexpass"], "typo_axis": [1]}`,  // unknown field
+		`{"scheme": ["flexpass"], "fault": ["garbage spec"]}`,
+	}
+	for _, in := range bad {
+		if _, err := ParseSpec([]byte(in)); err == nil {
+			t.Errorf("spec %s accepted", in)
+		}
+	}
+}
+
+func TestPointHashIdentity(t *testing.T) {
+	pts, err := testSpec(t).Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pts[0]
+	h := p.Hash()
+	if len(h) != 24 {
+		t.Fatalf("hash %q not 24 hex chars", h)
+	}
+	if p.Hash() != h {
+		t.Error("hash not deterministic")
+	}
+	// The display-only fault entry is excluded from identity...
+	q := p
+	q.Fault = "renamed-plan.json"
+	if q.Hash() != h {
+		t.Error("display fault name changed the hash")
+	}
+	// ...but the resolved fault-plan hash, and every real axis, are in.
+	q = p
+	q.FaultHash = "deadbeef"
+	if q.Hash() == h {
+		t.Error("fault plan hash not part of the identity")
+	}
+	q = p
+	q.Seed = 99
+	if q.Hash() == h {
+		t.Error("seed not part of the identity")
+	}
+	// All points in a sweep are distinct.
+	seen := map[string]bool{}
+	for _, pt := range pts {
+		if h := pt.Hash(); seen[h] {
+			t.Fatalf("duplicate hash %s", h)
+		} else {
+			seen[h] = true
+		}
+	}
+}
+
+// TestCheckedInSpecsValid pins every sweep spec the repo ships — the
+// CI micro-sweep and the examples — as parseable and expandable.
+func TestCheckedInSpecsValid(t *testing.T) {
+	specs, err := filepath.Glob("../../examples/sweeps/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs = append(specs, "../../ci/microsweep.json")
+	if len(specs) < 3 {
+		t.Fatalf("expected at least 3 checked-in specs, found %v", specs)
+	}
+	for _, path := range specs {
+		s, err := ParseSpecFile(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		pts, err := s.Points()
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if len(pts) == 0 {
+			t.Errorf("%s expands to zero points", path)
+		}
+		if strings.Contains(path, "scaling") && len(pts) < 64 {
+			t.Errorf("scaling sweep has %d points, want >= 64", len(pts))
+		}
+	}
+}
+
+// TestExecuteResumes is the resumability contract: running the second
+// half of a half-finished sweep must (a) not rewrite the finished
+// artifacts and (b) leave the lake with contents identical to a
+// from-scratch full run — proven with a zero-tolerance diff, which
+// gates every deterministic metric and ignores only the wall-clock
+// perf self-reports.
+func TestExecuteResumes(t *testing.T) {
+	pts, err := testSpec(t).Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := t.TempDir()
+	rep, err := Execute(pts[:2], resumed, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ran != 2 || rep.Skipped != 0 || len(rep.Failures) != 0 {
+		t.Fatalf("half sweep: %+v", rep)
+	}
+	// Snapshot the finished artifacts' bytes.
+	before := map[string][]byte{}
+	for _, p := range pts[:2] {
+		path := filepath.Join(resumed, lake.RunsDir, p.Hash()+".jsonl")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[path] = data
+	}
+
+	// Resume with the full point set.
+	rep, err = Execute(pts, resumed, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ran != 2 || rep.Skipped != 2 || len(rep.Failures) != 0 {
+		t.Fatalf("resume: %+v", rep)
+	}
+	for path, want := range before {
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("resume rewrote finished artifact %s", path)
+		}
+	}
+
+	// From-scratch run of the same sweep in a fresh lake.
+	scratch := t.TempDir()
+	if _, err := Execute(pts, scratch, Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := lake.Load(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := lake.Load(scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 4 || len(b.Rows) != 4 {
+		t.Fatalf("lakes hold %d/%d rows, want 4/4", len(a.Rows), len(b.Rows))
+	}
+	d, err := lake.Diff(a, b, lake.Tolerance{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Clean() {
+		var sb strings.Builder
+		d.WriteText(&sb)
+		t.Errorf("resumed lake differs from from-scratch lake:\n%s", sb.String())
+	}
+}
+
+// TestExecuteCorruptArtifactReruns: a torn artifact fails validation
+// and is re-executed rather than resumed past.
+func TestExecuteCorruptArtifactReruns(t *testing.T) {
+	pts, err := testSpec(t).Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := Execute(pts[:1], dir, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, lake.RunsDir, pts[0].Hash()+".jsonl")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Execute(pts[:1], dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ran != 1 || rep.Skipped != 0 {
+		t.Fatalf("torn artifact was resumed past: %+v", rep)
+	}
+}
+
+// TestExecuteIsolatesFailures: a scenario whose fault plan panics
+// inside the harness becomes a failure record; the rest of the sweep
+// completes, and a later clean run removes the failure log.
+func TestExecuteIsolatesFailures(t *testing.T) {
+	s, err := ParseSpec([]byte(`{
+		"name": "f",
+		"scheme": ["flexpass"],
+		"topology": ["tiny"],
+		"deployment": [1.0],
+		"duration_ms": 0.3, "drain_ms": 1.0,
+		"fault": ["", "down@nosuchport*@0.1ms-0.2ms"]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := s.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("expanded to %d points", len(pts))
+	}
+	dir := t.TempDir()
+	rep, err := Execute(pts, dir, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ran != 1 || len(rep.Failures) != 1 {
+		t.Fatalf("failure not isolated: %+v", rep)
+	}
+	f := rep.Failures[0]
+	if !strings.Contains(f.Error, "panic") || !strings.Contains(f.Error, "nosuchport") {
+		t.Errorf("failure error: %q", f.Error)
+	}
+	// The failure log holds the record as one JSON line.
+	data, err := os.ReadFile(filepath.Join(dir, FailuresFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Failure
+	if err := json.Unmarshal([]byte(strings.SplitN(string(data), "\n", 2)[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Hash != f.Hash || rec.Point.Fault != "down@nosuchport*@0.1ms-0.2ms" {
+		t.Errorf("failure record: %+v", rec)
+	}
+	// The lake still indexed the clean half.
+	ix, err := lake.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Rows) != 1 {
+		t.Fatalf("lake rows after partial failure: %d", len(ix.Rows))
+	}
+	// Re-running only the good point leaves no stale failure log.
+	if _, err := Execute(pts[:1], dir, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, FailuresFile)); !os.IsNotExist(err) {
+		t.Error("stale failure log survived a clean run")
+	}
+}

@@ -10,6 +10,8 @@
 package faults
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -293,6 +295,25 @@ func (p *Plan) End() sim.Time {
 		}
 	}
 	return end
+}
+
+// Hash returns a short, stable content hash of the plan's fault
+// timeline — the identity the result lake keys faulted runs on. The
+// plan Name is deliberately excluded (renaming a plan file must not
+// change the scenario identity), and TimeSpec marshals as exact
+// picoseconds, so two plans hash equal iff they script the same
+// timeline. A nil or empty plan hashes to "".
+func (p *Plan) Hash() string {
+	if p == nil || len(p.Events) == 0 {
+		return ""
+	}
+	b, err := json.Marshal(p.Events)
+	if err != nil {
+		// Events hold only plain values; marshal cannot fail in practice.
+		panic(fmt.Sprintf("faults: hashing plan: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
 }
 
 // ParsePlan decodes and validates a JSON plan. Unknown fields are

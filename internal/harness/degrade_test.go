@@ -45,12 +45,12 @@ func faultScenario(scheme Scheme) Scenario {
 	sc.TraceFlows = []workload.FlowSpec{
 		{Src: 4, Dst: 0, Size: 3_000_000, At: 500 * sim.Microsecond}, // spans the blackhole
 		{Src: 7, Dst: 3, Size: 500_000, At: 500 * sim.Microsecond},
-		{Src: 6, Dst: 2, Size: 1_000_000, At: sim.Millisecond},       // reverse uplink, untouched
-		{Src: 5, Dst: 0, Size: 500_000, At: 2200 * sim.Microsecond},  // starts inside the blackhole
-		{Src: 0, Dst: 4, Size: 800_000, At: 2500 * sim.Microsecond},  // returning acks/credits blackholed
-		{Src: 1, Dst: 2, Size: 300_000, At: 2500 * sim.Microsecond},  // intra-rack control
+		{Src: 6, Dst: 2, Size: 1_000_000, At: sim.Millisecond},        // reverse uplink, untouched
+		{Src: 5, Dst: 0, Size: 500_000, At: 2200 * sim.Microsecond},   // starts inside the blackhole
+		{Src: 0, Dst: 4, Size: 800_000, At: 2500 * sim.Microsecond},   // returning acks/credits blackholed
+		{Src: 1, Dst: 2, Size: 300_000, At: 2500 * sim.Microsecond},   // intra-rack control
 		{Src: 1, Dst: 5, Size: 3_000_000, At: 3500 * sim.Microsecond}, // spans the burst window
-		{Src: 2, Dst: 6, Size: 400_000, At: 4500 * sim.Microsecond},  // starts inside the burst
+		{Src: 2, Dst: 6, Size: 400_000, At: 4500 * sim.Microsecond},   // starts inside the burst
 		{Src: 5, Dst: 1, Size: 600_000, At: 5 * sim.Millisecond},
 		{Src: 3, Dst: 7, Size: 500_000, At: 7 * sim.Millisecond}, // recovery phase
 	}

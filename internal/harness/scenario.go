@@ -108,6 +108,13 @@ type Scenario struct {
 	// folded in on top and win on conflict.
 	SchemeOptions map[string]string
 
+	// ManifestConfig adds caller-owned entries to the exported
+	// manifest's Config map (the sweep orchestrator stamps its scenario
+	// hash and topology label here). Keys collide with the harness's own
+	// Config entries only if the caller chooses harness key names; the
+	// caller's values win.
+	ManifestConfig map[string]string
+
 	// TraceFlows, when non-nil, replaces the generated workload entirely
 	// (replay of an exported or external trace). Host indices must be
 	// valid for the configured fabric.
@@ -540,27 +547,39 @@ func Run(sc Scenario) *Result {
 		if secs := res.WallClock.Seconds(); secs > 0 {
 			eps = float64(res.Events) / secs
 		}
+		config := map[string]string{
+			"link_rate":      sc.LinkRate.String(),
+			"link_delay":     sc.LinkDelay.String(),
+			"host_delay":     sc.HostDelay.String(),
+			"switch_buf":     sc.SwitchBuf.String(),
+			"buf_alpha":      fmt.Sprintf("%g", sc.BufAlpha),
+			"probe_interval": prober.Interval().String(),
+		}
+		for k, v := range sc.ManifestConfig {
+			config[k] = v
+		}
+		planName, planHash := "", ""
+		if sc.FaultPlan != nil {
+			planName, planHash = sc.FaultPlan.Name, sc.FaultPlan.Hash()
+		}
 		res.Telemetry = obs.Collect(reg, prober, obs.Manifest{
 			Seed: sc.Seed,
 			Topology: fmt.Sprintf("clos pods=%d agg/pod=%d tor/pod=%d hosts/tor=%d cores=%d hosts=%d",
 				sc.Clos.Pods, sc.Clos.AggPerPod, sc.Clos.TorPerPod, sc.Clos.HostsPerTor, sc.Clos.Cores, hosts),
-			Scheme:     string(sc.Scheme),
-			Workload:   wl,
-			Load:       sc.Load,
-			Deployment: sc.Deployment,
-			WQ:         sc.WQ,
-			DurationPs: int64(sc.Duration + sc.Drain),
-			Config: map[string]string{
-				"link_rate":      sc.LinkRate.String(),
-				"link_delay":     sc.LinkDelay.String(),
-				"host_delay":     sc.HostDelay.String(),
-				"switch_buf":     sc.SwitchBuf.String(),
-				"buf_alpha":      fmt.Sprintf("%g", sc.BufAlpha),
-				"probe_interval": prober.Interval().String(),
-			},
-			WallMS:       wallMS,
-			Events:       res.Events,
-			EventsPerSec: eps,
+			Scheme:        string(sc.Scheme),
+			Workload:      wl,
+			Load:          sc.Load,
+			Deployment:    sc.Deployment,
+			WQ:            sc.WQ,
+			DurationPs:    int64(sc.Duration + sc.Drain),
+			SchemeOptions: sc.schemeOptions(),
+			FaultPlan:     planName,
+			FaultPlanHash: planHash,
+			Revision:      obs.RepoRevision(),
+			Config:        config,
+			WallMS:        wallMS,
+			Events:        res.Events,
+			EventsPerSec:  eps,
 		})
 		res.Telemetry.AttachTrace(ring)
 		if res.Forensics != nil {

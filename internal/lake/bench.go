@@ -1,0 +1,92 @@
+package lake
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The bench table makes the perf trajectory queryable alongside the
+// run table: every cmd/benchjson artifact (a parse-mode Artifact or a
+// compare-mode Report) flattens to (source, bench, metric, value)
+// rows, so "how did EngineDispatch ns/op move across BENCH_PR*.json"
+// is one query.
+
+// BenchRow is one benchmark metric observation.
+type BenchRow struct {
+	Source      string  `json:"source"` // artifact basename, e.g. "BENCH_PR6.json"
+	Bench       string  `json:"bench"`  // benchmark name, e.g. "EngineDispatch"
+	Metric      string  `json:"metric"` // "ns/op", "allocs/op", "events/sec", ...
+	Value       float64 `json:"value"`
+	GeneratedAt string  `json:"generated_at,omitempty"`
+}
+
+// benchArtifact matches both cmd/benchjson output shapes: parse mode
+// has Benchmarks; compare mode has Current (and Baseline, which is
+// some older artifact's data and is skipped — ingest that artifact
+// directly instead).
+type benchArtifact struct {
+	GeneratedAt string                        `json:"generated_at"`
+	Benchmarks  map[string]map[string]float64 `json:"benchmarks"`
+	Current     map[string]map[string]float64 `json:"current"`
+}
+
+// IngestBenchFile flattens one benchjson artifact into the bench
+// table.
+func (ix *Index) IngestBenchFile(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var art benchArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return 0, fmt.Errorf("lake: parsing bench artifact %s: %w", path, err)
+	}
+	benches := art.Benchmarks
+	if benches == nil {
+		benches = art.Current
+	}
+	if len(benches) == 0 {
+		return 0, fmt.Errorf("lake: %s has no benchmarks (want benchjson parse or compare output)", path)
+	}
+	src := filepath.Base(path)
+	names := make([]string, 0, len(benches))
+	for name := range benches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	added := 0
+	for _, name := range names {
+		metrics := make([]string, 0, len(benches[name]))
+		for m := range benches[name] {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			ix.Bench = append(ix.Bench, BenchRow{
+				Source: src, Bench: name, Metric: m,
+				Value: benches[name][m], GeneratedAt: art.GeneratedAt,
+			})
+			added++
+		}
+	}
+	return added, nil
+}
+
+// BenchTable renders the bench table, optionally filtered by glob-free
+// equality on bench and metric ("" matches all).
+func (ix *Index) BenchTable(bench, metric string) *Table {
+	t := &Table{Header: []string{"source", "bench", "metric", "value"}}
+	for _, r := range ix.Bench {
+		if bench != "" && r.Bench != bench {
+			continue
+		}
+		if metric != "" && r.Metric != metric {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{r.Source, r.Bench, r.Metric, trimFloat(r.Value)})
+	}
+	return t
+}

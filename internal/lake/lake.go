@@ -1,0 +1,302 @@
+// Package lake is the repo's queryable result store: it ingests the obs
+// JSONL run artifacts a sweep produces into a flat, columnar index
+// persisted on disk, and answers filter/group-by/aggregate queries and
+// cross-run regression diffs over it. One row per run; every manifest
+// dimension (scheme, options, topology, workload, load, deployment, wq,
+// seed, fault plan, revision) is a queryable column, and the headline
+// metrics (goodput, FCT quantiles, drops by cause, events/sec) are
+// derived from the artifact's counters and histograms at ingest time —
+// so every paper figure is one query and every regression one diff.
+//
+// Damaged artifacts are not lost: ingestion rides obs.ReadJSONL's
+// salvage path, keeping whatever prefix parses and marking the row
+// Salvaged so queries can include or exclude crashed runs explicitly.
+package lake
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"flexpass/internal/obs"
+	"flexpass/internal/sim"
+)
+
+// Row is one run flattened into the lake's schema. Dimension columns
+// come from the manifest; metric columns are derived from the
+// artifact's counters, histograms, and fault lines.
+type Row struct {
+	// Identity dimensions.
+	ID       string // scenario content hash (config "scenario_hash") or artifact stem
+	File     string // artifact basename the row was ingested from
+	Schema   int    // artifact schema version (1, 2, 3, ...)
+	Salvaged bool   // artifact was damaged; row built from the salvaged prefix
+	Sweep    string // sweep name (config "sweep"), if farmed
+	Scheme   string
+	Topo     string // short topology label (config "topo") or manifest topology
+	Workload string
+	Options  string // canonical "k=v k2=v2" rendering of the scheme options
+	Fault    string // fault-plan name ("" = clean run)
+	FaultSig string // fault-plan content hash
+	Revision string
+	Seed     int64
+	Load     float64
+	Deploy   float64
+	WQ       float64
+
+	// Metrics.
+	DurationPs   int64
+	Flows        int64 // flows started, summed over transports
+	Completed    int64
+	GoodputGbps  float64 // delivered payload bytes over the run window
+	FCTP50Us     float64 // log-bucket upper bound, merged over transports
+	FCTP99Us     float64
+	Timeouts     int64
+	Retransmits  int64
+	CreditsIss   int64 // credits issued by receivers
+	CreditsWaste int64 // credits that arrived with nothing to send
+	DropsRed     int64 // selective (red-threshold) drops
+	DropsTotal   int64 // all queue drops
+	FaultActions int64 // applied fault-plan actions (artifact "fault" lines)
+	FaultDrops   int64 // packets destroyed by fault injection
+	Events       int64
+	WallMS       float64 // perf self-report; machine-dependent
+	EventsPerSec float64
+}
+
+// OptionsString canonicalizes a scheme-option map as space-separated
+// sorted "k=v" pairs — the form the Options column stores and queries
+// match against.
+func OptionsString(opts map[string]string) string {
+	if len(opts) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(opts))
+	for k := range opts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + opts[k]
+	}
+	return strings.Join(parts, " ")
+}
+
+// FromRun flattens one parsed artifact into a row. salvaged records
+// whether the artifact was damaged (obs.CorruptArtifactError); the row
+// is still built from whatever was recovered.
+func FromRun(r *obs.Run, file string, salvaged bool) Row {
+	m := r.Manifest
+	row := Row{
+		File:     filepath.Base(file),
+		Schema:   m.Schema,
+		Salvaged: salvaged,
+		Scheme:   m.Scheme,
+		Topo:     m.Topology,
+		Workload: m.Workload,
+		Options:  OptionsString(m.SchemeOptions),
+		Fault:    m.FaultPlan,
+		FaultSig: m.FaultPlanHash,
+		Revision: m.Revision,
+		Seed:     m.Seed,
+		Load:     m.Load,
+		Deploy:   m.Deployment,
+		WQ:       m.WQ,
+
+		DurationPs:   m.DurationPs,
+		Events:       int64(m.Events),
+		WallMS:       m.WallMS,
+		EventsPerSec: m.EventsPerSec,
+	}
+	row.ID = strings.TrimSuffix(row.File, filepath.Ext(row.File))
+	if h := m.Config["scenario_hash"]; h != "" {
+		row.ID = h
+	}
+	if t := m.Config["topo"]; t != "" {
+		row.Topo = t
+	}
+	if s := m.Config["sweep"]; s != "" {
+		row.Sweep = s
+	}
+
+	var rxBytes int64
+	for _, c := range r.Counters {
+		isTransport := strings.HasPrefix(c.Entity, "transport/")
+		isQueue := strings.HasPrefix(c.Entity, "port/") && strings.Contains(c.Entity, "/q")
+		isPort := strings.HasPrefix(c.Entity, "port/") && !isQueue
+		switch {
+		case isTransport && c.Metric == "flows_started":
+			row.Flows += c.Value
+		case isTransport && c.Metric == "flows_completed":
+			row.Completed += c.Value
+		case isTransport && c.Metric == "rx_bytes":
+			rxBytes += c.Value
+		case isTransport && c.Metric == "timeouts":
+			row.Timeouts += c.Value
+		case isTransport && c.Metric == "retransmits":
+			row.Retransmits += c.Value
+		case isTransport && c.Metric == "credits_issued":
+			row.CreditsIss += c.Value
+		case isTransport && c.Metric == "credits_wasted":
+			row.CreditsWaste += c.Value
+		case isQueue && c.Metric == "dropped":
+			row.DropsTotal += c.Value
+		case isQueue && c.Metric == "dropped_red":
+			row.DropsRed += c.Value
+		case isPort && c.Metric == "faults_injected":
+			row.FaultDrops += c.Value
+		}
+	}
+	if m.DurationPs > 0 {
+		secs := float64(m.DurationPs) / float64(sim.Second)
+		row.GoodputGbps = float64(rxBytes) * 8 / secs / 1e9
+	}
+	var fcts []obs.HistData
+	for _, h := range r.Hists {
+		if strings.HasPrefix(h.Entity, "transport/") && h.Metric == "fct_us" {
+			fcts = append(fcts, h)
+		}
+	}
+	row.FCTP50Us = float64(mergedQuantile(fcts, 0.5))
+	row.FCTP99Us = float64(mergedQuantile(fcts, 0.99))
+	row.FaultActions = int64(len(r.Faults))
+	return row
+}
+
+// mergedQuantile computes the p-quantile upper bound over the union of
+// several log-bucket histograms (the per-transport FCT histograms are
+// merged into one fabric-wide distribution).
+func mergedQuantile(hists []obs.HistData, p float64) int64 {
+	merged := map[int64]int64{}
+	var n int64
+	for _, h := range hists {
+		for i, le := range h.Le {
+			merged[le] += h.Counts[i]
+			n += h.Counts[i]
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	les := make([]int64, 0, len(merged))
+	for le := range merged {
+		les = append(les, le)
+	}
+	sort.Slice(les, func(i, j int) bool { return les[i] < les[j] })
+	rank := int64(p * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	var seen int64
+	for _, le := range les {
+		seen += merged[le]
+		if seen > rank {
+			return le
+		}
+	}
+	return les[len(les)-1]
+}
+
+// Index is the lake: every ingested run row plus the bench table.
+type Index struct {
+	Rows  []Row
+	Bench []BenchRow
+}
+
+// IngestFile reads one artifact and appends its row. Damaged artifacts
+// are salvaged (Row.Salvaged set); only artifacts whose manifest itself
+// was unrecoverable fail.
+func (ix *Index) IngestFile(path string) error {
+	run, err := obs.ReadJSONLFile(path)
+	salvaged := false
+	if err != nil {
+		var cerr *obs.CorruptArtifactError
+		if run == nil || !errors.As(err, &cerr) {
+			return fmt.Errorf("lake: ingest %s: %w", path, err)
+		}
+		if run.Manifest.Schema == 0 {
+			return fmt.Errorf("lake: ingest %s: damage precedes the manifest: %w", path, err)
+		}
+		salvaged = true
+	}
+	ix.Rows = append(ix.Rows, FromRun(run, path, salvaged))
+	return nil
+}
+
+// IngestDir ingests every *.jsonl artifact under dir (sorted, so row
+// order is stable) and reports per-file errors without aborting the
+// scan. It returns how many rows were added.
+func (ix *Index) IngestDir(dir string) (int, []error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil {
+		return 0, []error{err}
+	}
+	sort.Strings(paths)
+	added := 0
+	var errs []error
+	for _, p := range paths {
+		if err := ix.IngestFile(p); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		added++
+	}
+	return added, errs
+}
+
+// Sort orders rows by (sweep, scheme, topo, workload, load, deploy,
+// wq, options, fault sig, seed) so indexes built from the same runs
+// compare byte-identically regardless of ingest order.
+func (ix *Index) Sort() {
+	sort.Slice(ix.Rows, func(i, j int) bool {
+		a, b := &ix.Rows[i], &ix.Rows[j]
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		return a.File < b.File
+	})
+	sort.Slice(ix.Bench, func(i, j int) bool {
+		a, b := &ix.Bench[i], &ix.Bench[j]
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		if a.Bench != b.Bench {
+			return a.Bench < b.Bench
+		}
+		return a.Metric < b.Metric
+	})
+}
+
+// Load reads a lake from path: either an index file written by
+// WriteFile, or a directory containing one (index.json), falling back
+// to ingesting the runs/ artifacts when no index exists yet.
+func Load(path string) (*Index, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if !fi.IsDir() {
+		return ReadFile(path)
+	}
+	idx := filepath.Join(path, IndexFile)
+	if _, err := os.Stat(idx); err == nil {
+		return ReadFile(idx)
+	}
+	ix := &Index{}
+	if _, errs := ix.IngestDir(filepath.Join(path, RunsDir)); len(errs) > 0 {
+		return nil, errs[0]
+	}
+	ix.Sort()
+	return ix, nil
+}
+
+// Canonical lake layout names: <lake>/runs/*.jsonl artifacts indexed
+// into <lake>/index.json.
+const (
+	IndexFile = "index.json"
+	RunsDir   = "runs"
+)

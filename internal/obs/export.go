@@ -15,7 +15,11 @@ import (
 // incompatible change to the line structs below.
 //
 // v2 added the "fault" line type (applied fault-plan actions).
-const SchemaVersion = 2
+// v3 stamped the manifest with the full scenario identity the result
+// lake keys on: the per-scheme options map, the fault-plan name and
+// content hash, and the producing repo revision. v1/v2 artifacts stay
+// readable — the new fields simply decode empty.
+const SchemaVersion = 3
 
 // Manifest is the run's self-description: everything needed to
 // re-run or interpret the artifact without the producing binary.
@@ -29,6 +33,16 @@ type Manifest struct {
 	Deployment float64 `json:"deployment,omitempty"`
 	WQ         float64 `json:"wq,omitempty"`
 	DurationPs int64   `json:"duration_ps"`
+	// SchemeOptions is the resolved per-scheme option map the run used
+	// (typed scenario knobs already folded in) — part of the scenario
+	// identity, unlike the free-form Config below.
+	SchemeOptions map[string]string `json:"scheme_options,omitempty"`
+	// FaultPlan / FaultPlanHash identify the scripted fault timeline, if
+	// any: the plan's display name and faults.Plan.Hash() content hash.
+	FaultPlan     string `json:"fault_plan,omitempty"`
+	FaultPlanHash string `json:"fault_plan_hash,omitempty"`
+	// Revision is the producing repo revision (best-effort VCS stamp).
+	Revision string `json:"revision,omitempty"`
 	// Config holds free-form knob values not covered by the typed fields.
 	Config map[string]string `json:"config,omitempty"`
 	// Perf self-report: wall-clock runtime, events dispatched, rate.

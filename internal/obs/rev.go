@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// RepoRevision returns the VCS revision the running binary was built
+// from, with a "+dirty" suffix when the working tree had local edits,
+// or "" when no build info is stamped (e.g. under `go test`). Computed
+// once; the manifest records it so every lake row names its producer.
+func RepoRevision() string {
+	revOnce.Do(func() {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "+dirty"
+				}
+			}
+		}
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if rev != "" {
+			revCached = rev + dirty
+		}
+	})
+	return revCached
+}
+
+var (
+	revOnce   sync.Once
+	revCached string
+)
