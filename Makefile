@@ -82,6 +82,12 @@ lake-baseline:
 	cp lake-ci/index.json ci/lake-baseline.json
 	@echo wrote ci/lake-baseline.json
 
+# End-to-end smoke of the runtime introspection plane: the micro-sweep
+# served live (/status polled to completion, /metrics format-checked)
+# plus an engine self-profile written as folded stacks.
+introspection-smoke:
+	bash ci/introspection-smoke.sh
+
 # 64-scenario example sweep on the tiny fabric: resumable (re-run the
 # target after an interrupt and it picks up where it left off), then a
 # paper-figure style query over the lake it built.

@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -39,6 +38,7 @@ var (
 	forOut    = flag.String("forensics-out", "", "run the base scenario with the forensic plane and write its artifact here (skips the figure sweeps)")
 	traceFlow = flag.String("trace-flow", "", "comma-separated flow IDs whose timelines are always exported on -forensics-out runs")
 	pprofOut  = flag.String("pprof", "", "write a CPU profile of the experiment run to this file")
+	memOut    = flag.String("memprofile", "", "write a heap profile (post-run, after GC) to this file")
 	faultFile = flag.String("fault-plan", "", "JSON fault plan for the robustness run (default: a built-in ToR-uplink flap + burst-loss plan)")
 	faultSpec = flag.String("fault", "", "inline fault shorthand for the robustness run (see flexsim -fault)")
 )
@@ -68,17 +68,23 @@ func main() {
 	microDur := 80 * sim.Millisecond
 
 	if *pprofOut != "" {
-		f, err := os.Create(*pprofOut)
+		stop, err := obs.StartCPUProfile(*pprofOut)
 		if err != nil {
 			fatal(err)
 		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
-		}
 		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
+			if err := stop(); err != nil {
+				fatal(err)
+			}
 			fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", *pprofOut)
+		}()
+	}
+	if *memOut != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memOut); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "heap profile written to %s\n", *memOut)
 		}()
 	}
 

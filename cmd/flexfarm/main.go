@@ -2,6 +2,7 @@
 // result lake they produce.
 //
 //	flexfarm run    -spec sweep.json -out results_sweep [-workers N] [-force] [-v]
+//	                [-serve :8080] [-serve-linger 60s] [-summary-every 2s]
 //	flexfarm ingest -lake results_sweep [artifact-dir...]
 //	flexfarm query  -lake results_sweep [-where k=v,...] [-group-by a,b] [-agg m:fn,...] [-csv]
 //	flexfarm bench  -lake results_sweep [-ingest FILE.json...] [-bench NAME] [-metric UNIT]
@@ -9,6 +10,10 @@
 //
 // run expands the sweep spec's cross-product, executes it on all cores
 // with content-addressed, resumable artifacts, and indexes the lake.
+// While it runs, progress is a rate-limited summary line (done/total,
+// running, failed, ETA); -v restores one line per point. With -serve the
+// process exposes live /status (JSON progress), /metrics (Prometheus),
+// and /debug/pprof/ endpoints for the duration of the sweep.
 // query answers filter/group-by/aggregate questions — a paper figure
 // like p99 FCT by scheme and load is:
 //
@@ -24,9 +29,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"flexpass/internal/farm"
 	"flexpass/internal/lake"
+	"flexpass/internal/live"
+	"flexpass/internal/obs"
 )
 
 func main() {
@@ -66,6 +74,9 @@ func runCmd(args []string) {
 	workers := fs.Int("workers", 0, "worker pool size (0 = all cores)")
 	force := fs.Bool("force", false, "re-run scenarios even when a valid artifact exists")
 	verbose := fs.Bool("v", false, "log one line per scenario outcome")
+	serve := fs.String("serve", "", "serve live /status, /metrics, and pprof on this address (e.g. :8080)")
+	linger := fs.Duration("serve-linger", 0, "keep the -serve endpoint up this long after the sweep finishes")
+	summaryEvery := fs.Duration("summary-every", 2*time.Second, "periodic progress summary interval (0 disables)")
 	fs.Parse(args)
 	if *spec == "" || *out == "" {
 		fatal(fmt.Errorf("run needs -spec and -out"))
@@ -79,13 +90,50 @@ func runCmd(args []string) {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "sweep %q: %d scenarios -> %s\n", s.Name, len(points), *out)
-	opt := farm.Options{Workers: *workers, Force: *force}
-	if *verbose {
-		opt.Progress = func(format string, a ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", a...)
+
+	// Progress plumbing: every event feeds the tracker; the log gets
+	// either the legacy per-point lines (-v) or immediate failures plus
+	// the rate-limited summary ticker below.
+	tracker := farm.NewTracker(s.Name, len(points))
+	logLine := func(ev farm.ProgressEvent) {
+		if ev.Kind == farm.EventFailed {
+			fmt.Fprintf(os.Stderr, "FAIL %s %s: %s\n", ev.Hash, ev.Label, ev.Err)
+		} else if *verbose && ev.Kind != farm.EventStarted {
+			fmt.Fprintf(os.Stderr, "%-4s %s %s\n", ev.Kind, ev.Hash, ev.Label)
 		}
 	}
+	opt := farm.Options{Workers: *workers, Force: *force, Progress: farm.Fanout(tracker.Observe, logLine)}
+
+	var srv *live.Server
+	if *serve != "" {
+		reg := obs.NewRegistry()
+		tracker.Register(reg)
+		srv = live.NewServer(func() any { return tracker.Status() }, reg.Final)
+		bound, err := srv.Start(*serve)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "introspection: http://%s/status  /metrics  /debug/pprof/\n", bound)
+	}
+
+	stopSummary := make(chan struct{})
+	if !*verbose && *summaryEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*summaryEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					fmt.Fprintln(os.Stderr, tracker.Summary())
+				case <-stopSummary:
+					return
+				}
+			}
+		}()
+	}
+
 	rep, err := farm.Execute(points, *out, opt)
+	close(stopSummary)
 	if err != nil {
 		fatal(err)
 	}
@@ -94,6 +142,11 @@ func runCmd(args []string) {
 	for _, f := range rep.Failures {
 		fmt.Fprintf(os.Stderr, "  FAIL %s %s: %s\n", f.Hash, f.Label, f.Error)
 	}
+	if srv != nil && *linger > 0 {
+		fmt.Fprintf(os.Stderr, "sweep done; keeping introspection endpoint up for %s\n", *linger)
+		time.Sleep(*linger)
+	}
+	srv.Close()
 	if len(rep.Failures) > 0 {
 		os.Exit(1)
 	}

@@ -9,6 +9,7 @@
 //	flexplot -y tx_bytes -rate run.jsonl    # delta series as bytes/sec
 //	flexplot timeline run.jsonl             # list forensic timelines + violations
 //	flexplot timeline -flow 42 run.jsonl    # one flow's hop-by-hop journey
+//	flexplot perfetto -out trace.json run.jsonl  # Chrome trace-event JSON for ui.perfetto.dev
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"strings"
 
 	"flexpass/internal/obs"
+	"flexpass/internal/perfetto"
 	"flexpass/internal/plot"
 	"flexpass/internal/sim"
 )
@@ -42,10 +44,15 @@ func main() {
 		timelineCmd(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "perfetto" {
+		perfettoCmd(os.Args[2:])
+		return
+	}
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: flexplot [flags] <file.csv|run.jsonl>")
 		fmt.Fprintln(os.Stderr, "       flexplot timeline [-flow <id>] <run.jsonl>")
+		fmt.Fprintln(os.Stderr, "       flexplot perfetto [-out trace.json] <run.jsonl>")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -211,6 +218,50 @@ func plotArtifact(path string) {
 // flexsim -forensics-out): without -flow it lists violations and the
 // exported timelines; with -flow it prints that flow's hop-by-hop
 // journey merged chronologically with its transport lifecycle events.
+// perfettoCmd converts a run artifact into Chrome trace-event JSON for
+// ui.perfetto.dev: per-flow tracks from the trace ring, per-port tracks
+// from forensic hop records, and a fault-action track.
+func perfettoCmd(args []string) {
+	fs := flag.NewFlagSet("perfetto", flag.ExitOnError)
+	out := fs.String("out", "", "output file (default stdout)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: flexplot perfetto [-out trace.json] <run.jsonl>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	run, err := obs.ReadJSONLFile(fs.Arg(0))
+	if err != nil {
+		var corrupt *obs.CorruptArtifactError
+		if run == nil || !errors.As(err, &corrupt) {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "flexplot: warning: %v — converting the salvaged prefix\n", err)
+	}
+	if len(run.Trace) == 0 && len(run.Forensics) == 0 && len(run.Faults) == 0 {
+		fatal(fmt.Errorf("%s has no trace, forensics, or fault lines (produce them with flexsim -telemetry-out -trace-ring N, or -forensics-out)", fs.Arg(0)))
+	}
+	tr := perfetto.Convert(run)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.Write(w); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s (open in ui.perfetto.dev)\n", len(tr.TraceEvents), *out)
+	}
+}
+
 func timelineCmd(args []string) {
 	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
 	flow := fs.Uint64("flow", 0, "flow ID to render (0 lists available timelines)")

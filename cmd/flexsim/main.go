@@ -10,13 +10,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"flexpass/internal/faults"
 	"flexpass/internal/forensics"
 	"flexpass/internal/harness"
+	"flexpass/internal/live"
 	"flexpass/internal/metrics"
 	"flexpass/internal/obs"
 	"flexpass/internal/sim"
@@ -46,6 +47,10 @@ func main() {
 		forOut     = flag.String("forensics-out", "", "enable the forensic plane (hop recording, invariant auditors, worst-flow timelines) and write the run artifact as JSONL here")
 		traceFlow  = flag.String("trace-flow", "", "comma-separated flow IDs whose timelines are always exported (implies forensics)")
 		pprofOut   = flag.String("pprof", "", "write a CPU profile of the simulation to this file")
+		memOut     = flag.String("memprofile", "", "write a heap profile (post-run, after GC) to this file")
+		profOut    = flag.String("profile-out", "", "enable the engine self-profiler and write folded stacks (flamegraph input) here; '-' prints a table to stderr")
+		serveAddr  = flag.String("serve", "", "serve live /status, /metrics, and pprof on this address while the run executes (e.g. :8080)")
+		linger     = flag.Duration("serve-linger", 0, "keep the -serve endpoint up this long after the run finishes")
 		poolPkts   = flag.Bool("pool-packets", false, "recycle consumed frames through a per-network free list (results identical; lower GC pressure)")
 		faultPlan  = flag.String("fault-plan", "", "JSON fault-plan file (see internal/faults); runs the scheme clean and faulted and prints a degradation report")
 		faultSpec  = flag.String("fault", "", "inline fault shorthand, e.g. 'down@sw0->h1@2ms-3ms,burst@tor*@1ms-5ms'; same behavior as -fault-plan")
@@ -193,27 +198,72 @@ func main() {
 		return
 	}
 	sc.FaultPlan = plan
+	sc.Profile = *profOut != ""
 
-	var profFile *os.File
-	if *pprofOut != "" {
-		f, err := os.Create(*pprofOut)
+	var srv *live.Server
+	if *serveAddr != "" {
+		board := &live.RunBoard{}
+		sc.Live = board
+		s, bound, err := board.Serve(*serveAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := pprof.StartCPUProfile(f); err != nil {
+		srv = s
+		fmt.Fprintf(os.Stderr, "introspection: http://%s/status  /metrics  /debug/pprof/\n", bound)
+	}
+
+	var stopCPU func() error
+	if *pprofOut != "" {
+		stop, err := obs.StartCPUProfile(*pprofOut)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		profFile = f
+		stopCPU = stop
 	}
 
 	res := harness.Run(sc)
 
-	if profFile != nil {
-		pprof.StopCPUProfile()
-		profFile.Close()
+	if stopCPU != nil {
+		if err := stopCPU(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", *pprofOut)
+	}
+	if *memOut != "" {
+		if err := obs.WriteHeapProfile(*memOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "heap profile written to %s\n", *memOut)
+	}
+	if *profOut != "" && res.Profiler != nil {
+		if *profOut == "-" {
+			res.Profiler.WriteTable(os.Stderr)
+		} else {
+			f, err := os.Create(*profOut)
+			if err == nil {
+				err = res.Profiler.WriteFolded(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "engine profile (folded stacks) written to %s\n", *profOut)
+			res.Profiler.WriteTable(os.Stderr)
+		}
+	}
+	if srv != nil {
+		if *linger > 0 {
+			fmt.Fprintf(os.Stderr, "run done; keeping introspection endpoint up for %s\n", *linger)
+			time.Sleep(*linger)
+		}
+		srv.Close()
 	}
 	if res.Telemetry != nil && *telOut != "" {
 		var err error

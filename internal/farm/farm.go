@@ -29,6 +29,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"flexpass/internal/faults"
 	"flexpass/internal/harness"
@@ -364,8 +365,12 @@ type Report struct {
 type Options struct {
 	Workers int  // worker pool size; <=0 means GOMAXPROCS
 	Force   bool // re-run points even when a valid artifact exists
-	// Progress, when non-nil, receives one line per point outcome.
-	Progress func(format string, args ...any)
+	// Progress, when non-nil, receives one typed event per point
+	// transition: started when a worker picks a point up, then exactly
+	// one of ran / skipped / failed. Execute invokes it concurrently
+	// from worker goroutines — it must be safe for concurrent use
+	// (Tracker.Observe is; compose consumers with Fanout).
+	Progress func(ProgressEvent)
 }
 
 // Execute runs every point against the lake directory layout
@@ -386,7 +391,7 @@ func Execute(points []Point, dir string, opt Options) (*Report, error) {
 	}
 	progress := opt.Progress
 	if progress == nil {
-		progress = func(string, ...any) {}
+		progress = func(ProgressEvent) {}
 	}
 
 	rep := &Report{Total: len(points)}
@@ -395,33 +400,38 @@ func Execute(points []Point, dir string, opt Options) (*Report, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for pt := range jobs {
 				hash := pt.Hash()
+				label := pt.Label()
 				path := filepath.Join(runsDir, hash+".jsonl")
 				if !opt.Force && artifactValid(path, hash) {
 					mu.Lock()
 					rep.Skipped++
 					mu.Unlock()
-					progress("skip %s %s", hash, pt.Label())
+					progress(ProgressEvent{Kind: EventSkipped, Worker: worker, Hash: hash, Label: label})
 					continue
 				}
+				progress(ProgressEvent{Kind: EventStarted, Worker: worker, Hash: hash, Label: label})
+				start := time.Now()
 				err := runPoint(pt, path)
+				elapsed := time.Since(start)
 				mu.Lock()
 				if err != nil {
 					rep.Failures = append(rep.Failures, Failure{
-						Hash: hash, Label: pt.Label(), Point: pt, Error: err.Error(),
+						Hash: hash, Label: label, Point: pt, Error: err.Error(),
 					})
 					mu.Unlock()
-					progress("FAIL %s %s: %v", hash, pt.Label(), err)
+					progress(ProgressEvent{Kind: EventFailed, Worker: worker, Hash: hash, Label: label,
+						Err: err.Error(), Elapsed: elapsed})
 					continue
 				}
 				rep.Ran++
 				mu.Unlock()
-				progress("ran  %s %s", hash, pt.Label())
+				progress(ProgressEvent{Kind: EventRan, Worker: worker, Hash: hash, Label: label, Elapsed: elapsed})
 			}
-		}()
+		}(w)
 	}
 	for _, pt := range points {
 		jobs <- pt

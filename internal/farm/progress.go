@@ -1,0 +1,202 @@
+package farm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"flexpass/internal/obs"
+)
+
+// EventKind classifies one sweep progress transition.
+type EventKind uint8
+
+const (
+	// EventStarted fires when a worker begins executing a point.
+	EventStarted EventKind = iota
+	// EventRan fires when a point's artifact landed successfully.
+	EventRan
+	// EventSkipped fires when a valid artifact let the point resume.
+	EventSkipped
+	// EventFailed fires when a point errored or panicked.
+	EventFailed
+)
+
+// String names the kind for logs.
+func (k EventKind) String() string {
+	switch k {
+	case EventStarted:
+		return "start"
+	case EventRan:
+		return "ran"
+	case EventSkipped:
+		return "skip"
+	case EventFailed:
+		return "FAIL"
+	}
+	return fmt.Sprintf("EventKind(%d)", k)
+}
+
+// ProgressEvent is one typed sweep transition, emitted by Execute for
+// every point a worker touches. Consumers get structure instead of a
+// pre-formatted line: the CLI renders them, the Tracker aggregates them
+// for the live /status endpoint, and both can subscribe at once.
+type ProgressEvent struct {
+	Kind    EventKind
+	Worker  int    // worker pool index
+	Hash    string // point content address
+	Label   string // human-readable point identity
+	Err     string // failure message (EventFailed only)
+	Elapsed time.Duration
+}
+
+// Fanout composes progress consumers: each event goes to every fn.
+func Fanout(fns ...func(ProgressEvent)) func(ProgressEvent) {
+	return func(ev ProgressEvent) {
+		for _, fn := range fns {
+			if fn != nil {
+				fn(ev)
+			}
+		}
+	}
+}
+
+// RunningPoint is one worker's in-flight point in a status snapshot.
+type RunningPoint struct {
+	Worker    int     `json:"worker"`
+	Hash      string  `json:"hash"`
+	Label     string  `json:"label"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// FailureInfo is one failed point in a status snapshot.
+type FailureInfo struct {
+	Hash  string `json:"hash"`
+	Label string `json:"label"`
+	Error string `json:"error"`
+}
+
+// SweepStatus is the live /status payload for a sweep: progress counts,
+// what every worker is doing right now, failures so far, and an ETA
+// extrapolated from the completion rate.
+type SweepStatus struct {
+	Sweep     string         `json:"sweep,omitempty"`
+	Total     int            `json:"total"`
+	Done      int            `json:"done"` // ran + skipped + failed
+	Ran       int            `json:"ran"`
+	Skipped   int            `json:"skipped"`
+	Failed    int            `json:"failed"`
+	Running   []RunningPoint `json:"running"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+	ETAMS     float64        `json:"eta_ms,omitempty"`
+	Failures  []FailureInfo  `json:"failures,omitempty"`
+}
+
+// Tracker aggregates ProgressEvents into a thread-safe snapshot for the
+// introspection server. It is the concurrency boundary between worker
+// goroutines (Observe) and HTTP goroutines (Status / registry reads).
+type Tracker struct {
+	mu       sync.Mutex
+	sweep    string
+	total    int
+	start    time.Time
+	running  map[int]runningEntry
+	ran      int
+	skipped  int
+	failed   int
+	failures []FailureInfo
+}
+
+type runningEntry struct {
+	hash, label string
+	since       time.Time
+}
+
+// NewTracker builds a tracker for a sweep of total points.
+func NewTracker(sweep string, total int) *Tracker {
+	return &Tracker{sweep: sweep, total: total, start: time.Now(), running: make(map[int]runningEntry)}
+}
+
+// Observe folds one event in. Safe for concurrent use.
+func (t *Tracker) Observe(ev ProgressEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch ev.Kind {
+	case EventStarted:
+		t.running[ev.Worker] = runningEntry{hash: ev.Hash, label: ev.Label, since: time.Now()}
+	case EventRan:
+		delete(t.running, ev.Worker)
+		t.ran++
+	case EventSkipped:
+		delete(t.running, ev.Worker)
+		t.skipped++
+	case EventFailed:
+		delete(t.running, ev.Worker)
+		t.failed++
+		t.failures = append(t.failures, FailureInfo{Hash: ev.Hash, Label: ev.Label, Error: ev.Err})
+	}
+}
+
+// Status snapshots current progress.
+func (t *Tracker) Status() SweepStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	st := SweepStatus{
+		Sweep:     t.sweep,
+		Total:     t.total,
+		Done:      t.ran + t.skipped + t.failed,
+		Ran:       t.ran,
+		Skipped:   t.skipped,
+		Failed:    t.failed,
+		ElapsedMS: float64(now.Sub(t.start)) / float64(time.Millisecond),
+		Failures:  append([]FailureInfo(nil), t.failures...),
+	}
+	for w, e := range t.running {
+		st.Running = append(st.Running, RunningPoint{
+			Worker: w, Hash: e.hash, Label: e.label,
+			ElapsedMS: float64(now.Sub(e.since)) / float64(time.Millisecond),
+		})
+	}
+	sort.Slice(st.Running, func(i, j int) bool { return st.Running[i].Worker < st.Running[j].Worker })
+	if st.Done > 0 && st.Done < st.Total {
+		rate := float64(st.Done) / st.ElapsedMS // points per ms
+		if rate > 0 {
+			st.ETAMS = float64(st.Total-st.Done) / rate
+		}
+	}
+	return st
+}
+
+// Summary renders one compact progress line for the periodic log.
+func (t *Tracker) Summary() string {
+	st := t.Status()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d/%d done (%d ran, %d resumed, %d failed), %d running",
+		st.Done, st.Total, st.Ran, st.Skipped, st.Failed, len(st.Running))
+	if st.ETAMS > 0 {
+		fmt.Fprintf(&b, ", eta %s", (time.Duration(st.ETAMS) * time.Millisecond).Round(time.Second))
+	}
+	return b.String()
+}
+
+// Register exposes the tracker in a stats registry under entity "farm",
+// bridging sweep progress into the /metrics exposition. The registered
+// closures lock the tracker, so reading the registry from an HTTP
+// goroutine is safe as long as registration itself happened up front.
+func (t *Tracker) Register(reg *obs.Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	count := func(sel func(SweepStatus) int) func() int64 {
+		return func() int64 { return int64(sel(t.Status())) }
+	}
+	reg.Gauge("farm", "points_total", count(func(s SweepStatus) int { return s.Total }))
+	reg.CounterFunc("farm", "points_done", count(func(s SweepStatus) int { return s.Done }))
+	reg.CounterFunc("farm", "points_ran", count(func(s SweepStatus) int { return s.Ran }))
+	reg.CounterFunc("farm", "points_skipped", count(func(s SweepStatus) int { return s.Skipped }))
+	reg.CounterFunc("farm", "points_failed", count(func(s SweepStatus) int { return s.Failed }))
+	reg.Gauge("farm", "workers_running", count(func(s SweepStatus) int { return len(s.Running) }))
+}

@@ -1,0 +1,165 @@
+package farm
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"flexpass/internal/obs"
+)
+
+func TestEventKindString(t *testing.T) {
+	want := map[EventKind]string{
+		EventStarted: "start", EventRan: "ran", EventSkipped: "skip", EventFailed: "FAIL",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if s := EventKind(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("unknown kind stringified as %q", s)
+	}
+}
+
+func TestFanout(t *testing.T) {
+	var a, b int
+	fn := Fanout(func(ProgressEvent) { a++ }, nil, func(ProgressEvent) { b++ })
+	fn(ProgressEvent{Kind: EventRan})
+	fn(ProgressEvent{Kind: EventFailed})
+	if a != 2 || b != 2 {
+		t.Fatalf("fanout delivered a=%d b=%d, want 2/2", a, b)
+	}
+}
+
+func TestTrackerTransitions(t *testing.T) {
+	tr := NewTracker("sweep-x", 4)
+	st := tr.Status()
+	if st.Sweep != "sweep-x" || st.Total != 4 || st.Done != 0 || len(st.Running) != 0 {
+		t.Fatalf("fresh status = %+v", st)
+	}
+
+	tr.Observe(ProgressEvent{Kind: EventStarted, Worker: 1, Hash: "h1", Label: "p1"})
+	tr.Observe(ProgressEvent{Kind: EventStarted, Worker: 0, Hash: "h0", Label: "p0"})
+	st = tr.Status()
+	if len(st.Running) != 2 {
+		t.Fatalf("running = %+v, want 2 entries", st.Running)
+	}
+	// Snapshot is sorted by worker index.
+	if st.Running[0].Worker != 0 || st.Running[1].Worker != 1 {
+		t.Fatalf("running not sorted by worker: %+v", st.Running)
+	}
+
+	time.Sleep(2 * time.Millisecond) // let elapsed become nonzero for the ETA
+	tr.Observe(ProgressEvent{Kind: EventRan, Worker: 0, Hash: "h0", Label: "p0"})
+	tr.Observe(ProgressEvent{Kind: EventFailed, Worker: 1, Hash: "h1", Label: "p1", Err: "boom"})
+	tr.Observe(ProgressEvent{Kind: EventSkipped, Worker: 0, Hash: "h2", Label: "p2"})
+	st = tr.Status()
+	if st.Done != 3 || st.Ran != 1 || st.Skipped != 1 || st.Failed != 1 {
+		t.Fatalf("counts = %+v", st)
+	}
+	if len(st.Running) != 0 {
+		t.Fatalf("running after completion = %+v", st.Running)
+	}
+	if len(st.Failures) != 1 || st.Failures[0].Error != "boom" || st.Failures[0].Hash != "h1" {
+		t.Fatalf("failures = %+v", st.Failures)
+	}
+	if st.ETAMS <= 0 {
+		t.Fatalf("mid-sweep ETA = %v, want > 0", st.ETAMS)
+	}
+
+	sum := tr.Summary()
+	for _, want := range []string{"3/4 done", "1 ran", "1 resumed", "1 failed", "eta"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary %q missing %q", sum, want)
+		}
+	}
+
+	// Finishing the sweep drops the ETA.
+	tr.Observe(ProgressEvent{Kind: EventRan, Worker: 1, Hash: "h3", Label: "p3"})
+	st = tr.Status()
+	if st.Done != 4 || st.ETAMS != 0 {
+		t.Fatalf("finished status = %+v", st)
+	}
+}
+
+func TestTrackerRegister(t *testing.T) {
+	tr := NewTracker("s", 16)
+	tr.Observe(ProgressEvent{Kind: EventStarted, Worker: 0, Hash: "h", Label: "p"})
+	tr.Observe(ProgressEvent{Kind: EventRan, Worker: 0})
+	tr.Observe(ProgressEvent{Kind: EventSkipped, Worker: 1})
+	tr.Observe(ProgressEvent{Kind: EventStarted, Worker: 2, Hash: "h2", Label: "p2"})
+
+	reg := obs.NewRegistry()
+	tr.Register(reg)
+	got := map[string]int64{}
+	for _, r := range reg.Final() {
+		if r.Entity == "farm" {
+			got[r.Metric] = r.Value
+		}
+	}
+	want := map[string]int64{
+		"points_total": 16, "points_done": 2, "points_ran": 1,
+		"points_skipped": 1, "points_failed": 0, "workers_running": 1,
+	}
+	for m, v := range want {
+		if got[m] != v {
+			t.Errorf("metric %s = %d, want %d (all: %v)", m, got[m], v, got)
+		}
+	}
+
+	// Nil receivers and registries are tolerated.
+	var nilTr *Tracker
+	nilTr.Register(reg)
+	tr.Register(nil)
+}
+
+// TestExecuteEmitsProgress runs a real 2-point sweep twice and checks the
+// typed event stream: first pass start+ran per point, resumed pass one
+// skip per point with no started events.
+func TestExecuteEmitsProgress(t *testing.T) {
+	pts, err := testSpec(t).Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	var mu sync.Mutex
+	var events []ProgressEvent
+	collect := func(ev ProgressEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}
+
+	if _, err := Execute(pts[:2], dir, Options{Workers: 2, Progress: collect}); err != nil {
+		t.Fatal(err)
+	}
+	counts := func() map[EventKind]int {
+		mu.Lock()
+		defer mu.Unlock()
+		c := map[EventKind]int{}
+		for _, ev := range events {
+			c[ev.Kind]++
+			if ev.Hash == "" || ev.Label == "" {
+				t.Errorf("event missing identity: %+v", ev)
+			}
+			if ev.Kind == EventRan && ev.Elapsed <= 0 {
+				t.Errorf("ran event without elapsed time: %+v", ev)
+			}
+		}
+		return c
+	}
+	if c := counts(); c[EventStarted] != 2 || c[EventRan] != 2 || c[EventSkipped] != 0 || c[EventFailed] != 0 {
+		t.Fatalf("first pass events = %v", c)
+	}
+
+	events = nil
+	if _, err := Execute(pts[:2], dir, Options{Workers: 2, Progress: collect}); err != nil {
+		t.Fatal(err)
+	}
+	if c := counts(); c[EventSkipped] != 2 || c[EventStarted] != 0 || c[EventRan] != 0 {
+		t.Fatalf("resumed pass events = %v", c)
+	}
+}

@@ -44,6 +44,10 @@ func Apply(p *Plan, eng *sim.Engine, net *netem.Network) (*Applied, error) {
 		return nil, err
 	}
 	a := &Applied{Plan: p}
+	// All fault timers — and anything their engage/clear closures
+	// schedule — attribute to the "faults" component.
+	prev := eng.SetComponent(eng.Component("faults"))
+	defer eng.SetComponent(prev)
 	for i := range p.Events {
 		ev := &p.Events[i]
 		ports := matchPorts(net, ev.Link)

@@ -86,7 +86,9 @@ func (a *Auditor) Start() {
 		return
 	}
 	a.started = true
+	prev := a.eng.SetComponent(a.eng.Component("forensics/audit"))
 	a.eng.Every(a.every, a.tick)
+	a.eng.SetComponent(prev)
 }
 
 // tick runs every check once.

@@ -12,9 +12,11 @@ import (
 
 	"flexpass/internal/faults"
 	"flexpass/internal/forensics"
+	"flexpass/internal/live"
 	"flexpass/internal/metrics"
 	"flexpass/internal/netem"
 	"flexpass/internal/obs"
+	"flexpass/internal/prof"
 	"flexpass/internal/sim"
 	"flexpass/internal/topo"
 	"flexpass/internal/trace"
@@ -95,6 +97,24 @@ type Scenario struct {
 	// from user input should come through faults.ParsePlan / ParseSpec,
 	// which validate structure up front.
 	FaultPlan *faults.Plan
+
+	// Profile enables the engine self-profiler: every dispatched event is
+	// timed and attributed to the component that scheduled it (transport
+	// scheme, port serialization/pacing, prober, auditor, faults, ...).
+	// Attribution labels are pure metadata and the accumulator is a fixed
+	// array, so profiling never changes flow results or allocates on the
+	// dispatch path; it only adds two clock reads per event. Results land
+	// in Result.Profile and, with telemetry on, the manifest.
+	Profile bool
+
+	// Live, when non-nil, receives periodic progress snapshots (sim-clock
+	// position, flow counts, registry readings) every LiveEvery of sim
+	// time (default 1ms) so an introspection server can report /status
+	// and /metrics while the run executes. Implies telemetry. The board
+	// is the thread-safety boundary: the engine publishes into it, HTTP
+	// goroutines read from it.
+	Live      *live.RunBoard
+	LiveEvery sim.Time
 
 	// DisableProRetx ablates FlexPass's proactive retransmission (§4.2).
 	DisableProRetx bool
@@ -190,6 +210,11 @@ type Result struct {
 	// action log also rides in Telemetry's artifact as "fault" lines.
 	Faults     *faults.Applied
 	FaultDrops netem.FaultStats
+	// Profile is the engine self-profiler's per-component attribution
+	// (when Scenario.Profile is set); Profiler is the live accumulator
+	// for folded-stacks or table rendering.
+	Profile  []obs.ComponentProfile
+	Profiler *prof.Profiler
 }
 
 // WorkloadRand returns the deterministic random stream Run uses for
@@ -251,6 +276,16 @@ func Run(sc Scenario) *Result {
 		if tel.TraceCap == 0 {
 			tel.TraceCap = 65536
 		}
+	}
+	// Live introspection implies telemetry too: /metrics bridges the
+	// registry, so there must be one.
+	if sc.Live != nil && tel == nil {
+		tel = &obs.Options{}
+	}
+	var profiler *prof.Profiler
+	if sc.Profile {
+		profiler = prof.New()
+		profiler.Attach(eng)
 	}
 	var reg *obs.Registry
 	var ring *trace.Ring
@@ -376,9 +411,20 @@ func Run(sc Scenario) *Result {
 		res.Faults = applied
 	}
 
+	// Profiling attribution: arrival timers carry their own label, and the
+	// two transports get per-scheme labels stamped around Start so every
+	// timer a transport schedules — pacer ticks, RTO checks, host sends —
+	// inherits its scheme's component transitively.
+	compLegacy := eng.Component("transport/" + transport.SchemeDCTCP)
+	compActive := compLegacy
+	if string(sc.Scheme) != transport.SchemeDCTCP {
+		compActive = eng.Component("transport/" + string(sc.Scheme))
+	}
+
 	var all []*transport.Flow
 	incastOf := make(map[uint64]bool)
 	nextID := uint64(1)
+	prevComp := eng.SetComponent(eng.Component("harness/arrival"))
 	for _, spec := range flows {
 		spec := spec
 		id := nextID
@@ -396,12 +442,17 @@ func Run(sc Scenario) *Result {
 				incastOf[id] = true
 			}
 			if !upgraded(spec) {
+				prev := eng.SetComponent(compLegacy)
 				legacy.Start(fl)
+				eng.SetComponent(prev)
 				return
 			}
+			prev := eng.SetComponent(compActive)
 			active.Start(fl)
+			eng.SetComponent(prev)
 		})
 	}
+	eng.SetComponent(prevComp)
 
 	prober := obs.NewProber(eng, reg, tel)
 	prober.Start()
@@ -463,8 +514,45 @@ func Run(sc Scenario) *Result {
 	}
 
 	wallStart := time.Now()
+	var publishLive func(done bool)
+	if sc.Live != nil {
+		every := sc.LiveEvery
+		if every <= 0 {
+			every = sim.Millisecond
+		}
+		board := sc.Live
+		end := sc.Duration + sc.Drain
+		publishLive = func(done bool) {
+			st := live.RunStatus{
+				SimNowPs:     int64(eng.Now()),
+				SimEndPs:     int64(end),
+				Events:       eng.Processed,
+				FlowsTotal:   len(flows),
+				FlowsStarted: len(all),
+				WallMS:       float64(time.Since(wallStart)) / float64(time.Millisecond),
+				Done:         done,
+			}
+			for _, fl := range all {
+				if fl.Completed {
+					st.FlowsDone++
+				}
+			}
+			if secs := time.Since(wallStart).Seconds(); secs > 0 {
+				st.EventsPerSec = float64(eng.Processed) / secs
+			}
+			board.Publish(st, reg.Final())
+		}
+		// The publisher runs on the engine clock like any observer; the
+		// board is the only state it shares with HTTP readers.
+		prev := eng.SetComponent(eng.Component("live/status"))
+		eng.Every(every, func() { publishLive(false) })
+		eng.SetComponent(prev)
+	}
 	eng.Run(sc.Duration + sc.Drain)
 	res.WallClock = time.Since(wallStart)
+	if publishLive != nil {
+		publishLive(true)
+	}
 
 	for _, fl := range all {
 		res.Flows.Add(metrics.Snapshot(fl, incastOf[fl.ID]))
@@ -513,6 +601,10 @@ func Run(sc Scenario) *Result {
 	}
 	res.Events = eng.Processed
 	res.Trace = ring
+	if profiler != nil {
+		res.Profiler = profiler
+		res.Profile = profiler.Export()
+	}
 
 	if sc.Forensics != nil {
 		// Ideal-FCT estimate for ranking only: wire bytes at line rate
@@ -580,6 +672,7 @@ func Run(sc Scenario) *Result {
 			WallMS:        wallMS,
 			Events:        res.Events,
 			EventsPerSec:  eps,
+			Profile:       res.Profile,
 		})
 		res.Telemetry.AttachTrace(ring)
 		if res.Forensics != nil {

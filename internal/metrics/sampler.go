@@ -44,6 +44,8 @@ func (s *Sampler) Start() {
 		return
 	}
 	s.running = true
+	prev := s.eng.SetComponent(s.eng.Component("obs/sampler"))
+	defer s.eng.SetComponent(prev)
 	s.eng.Every(s.interval, func() {
 		for _, name := range s.names {
 			cur := s.sources[name]()
@@ -127,6 +129,8 @@ func (q *QueueSampler) Start() {
 		return
 	}
 	q.running = true
+	prev := q.eng.SetComponent(q.eng.Component("obs/sampler"))
+	defer q.eng.SetComponent(prev)
 	q.eng.Every(q.interval, func() {
 		for _, fn := range q.sources {
 			t, r := fn()

@@ -24,6 +24,7 @@ type Host struct {
 	sendQ    []*Packet
 	sendHead int
 	sendFn   func()
+	comp     sim.Component // profiling attribution for delayed-send events
 
 	pool *PacketPool // optional packet free list (Network.EnablePacketPool)
 
@@ -37,6 +38,7 @@ func NewHost(eng *sim.Engine, id NodeID, name string, nic *Port, delay sim.Time)
 	nic.SetOwner(id)
 	h := &Host{id: id, name: name, eng: eng, nic: nic, delay: delay}
 	h.sendFn = h.sendNext
+	h.comp = eng.Component("netem/host")
 	return h
 }
 
@@ -69,7 +71,9 @@ func (h *Host) Send(pkt *Packet) {
 	pkt.Src = h.id
 	if h.delay > 0 {
 		h.sendQ = append(h.sendQ, pkt)
+		prev := h.eng.SetComponent(h.comp)
 		h.eng.After(h.delay, h.sendFn)
+		h.eng.SetComponent(prev)
 		return
 	}
 	h.nic.Send(pkt)

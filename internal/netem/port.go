@@ -84,6 +84,12 @@ type Port struct {
 	deliverFn func()
 	wakeFn    func() // pre-bound wake: one closure per port, not per pacing stall
 
+	// Profiling attribution for the events this port schedules (pure
+	// metadata — never affects event order).
+	compTx      sim.Component // serialization-done events
+	compDeliver sim.Component // propagation / peer-delivery events
+	compPacing  sim.Component // rate-limit eligibility wakes
+
 	pool *PacketPool // optional packet free list; drops recycle through it
 
 	// Fault-injection state (see faults.go). effRate is the current
@@ -142,6 +148,9 @@ func NewPort(eng *sim.Engine, name string, rate units.Rate, prop sim.Time, cfg P
 	}
 	p.deliverFn = p.deliverHead
 	p.wakeFn = p.wake
+	p.compTx = eng.Component("netem/tx")
+	p.compDeliver = eng.Component("netem/deliver")
+	p.compPacing = eng.Component("netem/pacing")
 	return p
 }
 
@@ -149,7 +158,9 @@ func NewPort(eng *sim.Engine, name string, rate units.Rate, prop sim.Time, cfg P
 func (p *Port) deliverAt(t sim.Time, pkt *Packet) {
 	p.pipe = append(p.pipe, pipeEntry{at: t, pkt: pkt})
 	if len(p.pipe)-p.pipeHead == 1 {
+		prev := p.eng.SetComponent(p.compDeliver)
 		p.eng.At(t, p.deliverFn)
+		p.eng.SetComponent(prev)
 	}
 }
 
@@ -171,7 +182,9 @@ func (p *Port) deliverHead() {
 	}
 	p.peer.Receive(e.pkt)
 	if p.pipeHead < len(p.pipe) {
+		prev := p.eng.SetComponent(p.compDeliver)
 		p.eng.At(p.pipe[p.pipeHead].at, p.deliverFn)
+		p.eng.SetComponent(prev)
 	}
 }
 
@@ -307,7 +320,9 @@ func (p *Port) kick() {
 	if pkt == nil {
 		if wait > 0 && (p.wakeAt == 0 || wait < p.wakeAt || p.wakeAt <= p.eng.Now()) {
 			p.wakeAt = wait
+			prev := p.eng.SetComponent(p.compPacing)
 			p.eng.At(wait, p.wakeFn)
+			p.eng.SetComponent(prev)
 		}
 		return
 	}
@@ -333,7 +348,9 @@ func (p *Port) kick() {
 	if int(pkt.Kind) < len(p.stats.TxBytesKind) {
 		p.stats.TxBytesKind[pkt.Kind] += int64(pkt.Size)
 	}
+	prev := p.eng.SetComponent(p.compTx)
 	p.eng.After(tx, p.txDoneFn)
+	p.eng.SetComponent(prev)
 	p.deliverAt(p.eng.Now()+tx+p.prop, pkt)
 }
 

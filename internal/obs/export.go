@@ -49,6 +49,22 @@ type Manifest struct {
 	WallMS       float64 `json:"wall_ms"`
 	Events       uint64  `json:"events"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	// Profile is the engine self-profiler's per-component attribution
+	// (when the run enabled it). Absent on unprofiled runs, so v3
+	// artifacts stay byte-compatible.
+	Profile []ComponentProfile `json:"profile,omitempty"`
+}
+
+// ComponentProfile is one engine component's dispatch accounting: how
+// many events it dispatched, how much wall time they took, the single
+// worst dispatch, and a power-of-two latency histogram in nanoseconds.
+type ComponentProfile struct {
+	Component string  `json:"component"`
+	Events    uint64  `json:"events"`
+	WallNs    int64   `json:"wall_ns"`
+	MaxNs     int64   `json:"max_ns"`
+	Le        []int64 `json:"le,omitempty"`     // exclusive ns upper bound per bucket
+	Counts    []int64 `json:"counts,omitempty"` // dispatches per bucket
 }
 
 // SeriesData is one exported time series.

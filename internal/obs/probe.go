@@ -106,7 +106,9 @@ func (p *Prober) Start() {
 	if p == nil || p.ticker != nil {
 		return
 	}
+	prev := p.eng.SetComponent(p.eng.Component("obs/prober"))
 	p.ticker = p.eng.Every(p.interval, p.tick)
+	p.eng.SetComponent(prev)
 }
 
 // Stop halts sampling.

@@ -1,0 +1,210 @@
+// Package perfetto converts an obs run artifact into Chrome trace-event
+// JSON, the format ui.perfetto.dev (and chrome://tracing) open directly.
+//
+// The mapping builds three synthetic "processes":
+//
+//   - flows  (pid 1): one thread per flow. A complete span covers
+//     flow-start → flow-done; every other trace-ring event (drops, marks,
+//     retransmits, credit events) is an instant on the flow's track.
+//   - ports  (pid 2): one thread per port seen in forensic timelines.
+//     Each dequeue hop becomes a span covering the packet's time at the
+//     port — enqueue (at − wait) through serialization end (at + tx) —
+//     and each drop an instant.
+//   - faults (pid 3): one thread; applied fault-plan actions as instants.
+//
+// Timestamps are the trace-event format's microseconds, converted from
+// the simulator's picoseconds; sub-microsecond precision survives because
+// ts/dur are JSON numbers, not integers.
+package perfetto
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"flexpass/internal/obs"
+)
+
+// Event is one trace-event object. Fields follow the Chrome trace-event
+// schema: ph is the phase ("M" metadata, "X" complete, "i" instant), ts
+// and dur are microseconds, pid/tid place the event on a track.
+type Event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope: "t" thread
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Trace is the top-level JSON object.
+type Trace struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// Synthetic process IDs.
+const (
+	pidFlows  = 1
+	pidPorts  = 2
+	pidFaults = 3
+)
+
+func us(ps int64) float64 { return float64(ps) / 1e6 }
+
+// Convert maps the artifact onto trace events. The output is
+// deterministic for a given run: tracks are ordered by flow ID and by
+// sorted port name, and events by artifact order within each source.
+func Convert(run *obs.Run) *Trace {
+	t := &Trace{DisplayTimeUnit: "ns"}
+
+	meta := func(pid int, tid int64, name, value string) {
+		t.TraceEvents = append(t.TraceEvents, Event{
+			Name: name, Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": value},
+		})
+	}
+	meta(pidFlows, 0, "process_name", "flows")
+	meta(pidPorts, 0, "process_name", "ports")
+	meta(pidFaults, 0, "process_name", "faults")
+
+	// Flow tracks from the transport trace ring.
+	type flowSpan struct {
+		start, done int64
+		hasStart    bool
+		hasDone     bool
+	}
+	spans := map[uint64]*flowSpan{}
+	var flowIDs []uint64
+	for _, ev := range run.Trace {
+		fs := spans[ev.Flow]
+		if fs == nil {
+			fs = &flowSpan{}
+			spans[ev.Flow] = fs
+			flowIDs = append(flowIDs, ev.Flow)
+		}
+		switch ev.Kind {
+		case "flow-start":
+			fs.start, fs.hasStart = ev.AtPs, true
+		case "flow-done":
+			fs.done, fs.hasDone = ev.AtPs, true
+		}
+	}
+	sort.Slice(flowIDs, func(i, j int) bool { return flowIDs[i] < flowIDs[j] })
+	for _, id := range flowIDs {
+		meta(pidFlows, int64(id), "thread_name", fmt.Sprintf("flow %d", id))
+		fs := spans[id]
+		if fs.hasStart && fs.hasDone && fs.done >= fs.start {
+			t.TraceEvents = append(t.TraceEvents, Event{
+				Name: fmt.Sprintf("flow %d", id), Cat: "flow", Ph: "X",
+				Ts: us(fs.start), Dur: us(fs.done - fs.start),
+				Pid: pidFlows, Tid: int64(id),
+			})
+		}
+	}
+	for _, ev := range run.Trace {
+		if ev.Kind == "flow-start" || ev.Kind == "flow-done" {
+			continue
+		}
+		args := map[string]any{"seq": ev.Seq}
+		if ev.Note != "" {
+			args["note"] = ev.Note
+		}
+		t.TraceEvents = append(t.TraceEvents, Event{
+			Name: ev.Kind, Cat: "trace", Ph: "i", S: "t",
+			Ts: us(ev.AtPs), Pid: pidFlows, Tid: int64(ev.Flow), Args: args,
+		})
+	}
+
+	// Port tracks from forensic hop records. Hops live inside per-flow
+	// timelines; regroup them by port so each port becomes one thread.
+	portTid := map[string]int64{}
+	var portNames []string
+	for _, f := range run.Forensics {
+		if f.Timeline == nil {
+			continue
+		}
+		for _, h := range f.Timeline.Hops {
+			if _, ok := portTid[h.Port]; !ok {
+				portTid[h.Port] = 0
+				portNames = append(portNames, h.Port)
+			}
+		}
+	}
+	sort.Strings(portNames)
+	for i, name := range portNames {
+		portTid[name] = int64(i + 1)
+		meta(pidPorts, int64(i+1), "thread_name", name)
+	}
+	for _, f := range run.Forensics {
+		if f.Timeline == nil {
+			continue
+		}
+		tl := f.Timeline
+		for _, h := range tl.Hops {
+			tid := portTid[h.Port]
+			switch h.Event {
+			case "deq":
+				t.TraceEvents = append(t.TraceEvents, Event{
+					Name: fmt.Sprintf("%s flow %d seq %d", h.Kind, tl.Flow, h.Seq),
+					Cat:  "hop", Ph: "X",
+					Ts: us(h.AtPs - h.WaitPs), Dur: us(h.WaitPs + h.TxPs),
+					Pid: pidPorts, Tid: tid,
+					Args: map[string]any{
+						"flow": tl.Flow, "queue": h.Queue,
+						"wait_ps": h.WaitPs, "tx_ps": h.TxPs,
+					},
+				})
+			case "drop":
+				args := map[string]any{"flow": tl.Flow, "queue": h.Queue}
+				if h.Reason != "" {
+					args["reason"] = h.Reason
+				}
+				t.TraceEvents = append(t.TraceEvents, Event{
+					Name: fmt.Sprintf("drop %s flow %d seq %d", h.Kind, tl.Flow, h.Seq),
+					Cat:  "hop", Ph: "i", S: "t",
+					Ts: us(h.AtPs), Pid: pidPorts, Tid: tid, Args: args,
+				})
+			}
+		}
+	}
+
+	// Fault actions as instants on one shared track.
+	if len(run.Faults) > 0 {
+		meta(pidFaults, 1, "thread_name", "fault plan")
+	}
+	for _, fa := range run.Faults {
+		args := map[string]any{"link": fa.Link}
+		if fa.Value != 0 {
+			args["value"] = fa.Value
+		}
+		t.TraceEvents = append(t.TraceEvents, Event{
+			Name: fmt.Sprintf("%s %s", fa.Kind, fa.Link), Cat: "fault", Ph: "i", S: "t",
+			Ts: us(fa.AtPs), Pid: pidFaults, Tid: 1, Args: args,
+		})
+	}
+
+	// Stable render order: metadata first (viewers expect names before
+	// data), then by timestamp; ties keep source order.
+	sort.SliceStable(t.TraceEvents, func(i, j int) bool {
+		a, b := t.TraceEvents[i], t.TraceEvents[j]
+		if (a.Ph == "M") != (b.Ph == "M") {
+			return a.Ph == "M"
+		}
+		if a.Ph == "M" {
+			return false // keep metadata in emission order
+		}
+		return a.Ts < b.Ts
+	})
+	return t
+}
+
+// Write renders the trace as indented JSON.
+func (t *Trace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t)
+}

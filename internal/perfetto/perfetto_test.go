@@ -1,0 +1,187 @@
+package perfetto
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flexpass/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace file")
+
+// fixtureRun builds a small deterministic artifact exercising every
+// mapping: flow lifecycle spans, instant trace events, port dequeue
+// spans, a drop, and fault actions.
+func fixtureRun() *obs.Run {
+	return &obs.Run{
+		Trace: []obs.TraceData{
+			{AtPs: 1_000_000, Kind: "flow-start", Flow: 2},
+			{AtPs: 2_000_000, Kind: "flow-start", Flow: 1},
+			{AtPs: 3_500_000, Kind: "retx", Flow: 1, Seq: 4, Note: "gap"},
+			{AtPs: 4_000_000, Kind: "flow-done", Flow: 1},
+			{AtPs: 6_000_000, Kind: "flow-done", Flow: 2},
+			{AtPs: 7_000_000, Kind: "drop", Flow: 3, Seq: 9}, // no lifecycle: instants only
+		},
+		Forensics: []obs.ForensicsData{
+			{Timeline: &obs.TimelineData{
+				Flow: 1, Transport: "flexpass", Size: 1500, StartPs: 2_000_000, FctPs: 2_000_000,
+				Hops: []obs.HopData{
+					{AtPs: 2_500_000, Port: "tor0:up0", Queue: 1, Event: "deq", Kind: "pro-data", Seq: 1, WaitPs: 200_000, TxPs: 120_000},
+					{AtPs: 3_000_000, Port: "agg0:down1", Queue: 0, Event: "deq", Kind: "sched-data", Seq: 2, WaitPs: 50_000, TxPs: 120_000},
+					{AtPs: 3_200_000, Port: "tor0:up0", Queue: 1, Event: "drop", Kind: "pro-data", Seq: 3, Reason: "red"},
+					{AtPs: 3_300_000, Port: "tor0:up0", Queue: 1, Event: "enq", Kind: "pro-data", Seq: 4}, // enq hops are not rendered
+				},
+			}},
+			{Violation: &obs.ViolationData{AtPs: 1, Auditor: "x", Detail: "ignored by converter"}},
+		},
+		Faults: []obs.FaultData{
+			{AtPs: 2_800_000, Kind: "link-down", Link: "agg0:down1"},
+			{AtPs: 5_000_000, Kind: "rate-degrade", Link: "tor0:up0", Value: 0.5},
+		},
+	}
+}
+
+func TestConvertGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Convert(fixtureRun()).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to record)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace output diverged from golden file; run with -update if the change is intentional\ngot:\n%s", buf.String())
+	}
+}
+
+// TestConvertSchema validates the output against the trace-event format:
+// every event has a known phase, a name, non-negative microsecond
+// timestamps and durations, and a track (pid). The top level must be the
+// {traceEvents: [...]} object form.
+func TestConvertSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Convert(fixtureRun()).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var top struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &top); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if top.Unit != "ns" && top.Unit != "ms" {
+		t.Fatalf("displayTimeUnit %q not allowed by the schema", top.Unit)
+	}
+	if len(top.TraceEvents) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+	sawMeta := false
+	for i, ev := range top.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		name, _ := ev["name"].(string)
+		if name == "" {
+			t.Fatalf("event %d has no name: %v", i, ev)
+		}
+		if _, ok := ev["pid"]; !ok {
+			t.Fatalf("event %d has no pid: %v", i, ev)
+		}
+		switch ph {
+		case "M":
+			sawMeta = true
+			if i > 0 && top.TraceEvents[i-1]["ph"] != "M" {
+				t.Fatalf("metadata event %d appears after data events", i)
+			}
+			args, _ := ev["args"].(map[string]any)
+			if s, _ := args["name"].(string); s == "" {
+				t.Fatalf("metadata event %d lacks args.name: %v", i, ev)
+			}
+		case "X":
+			ts, tsOK := ev["ts"].(float64)
+			dur, _ := ev["dur"].(float64)
+			if !tsOK || ts < 0 || dur < 0 {
+				t.Fatalf("complete event %d has bad ts/dur: %v", i, ev)
+			}
+		case "i":
+			if s, _ := ev["s"].(string); s != "t" && s != "p" && s != "g" {
+				t.Fatalf("instant event %d has invalid scope %q", i, s)
+			}
+			if ts, ok := ev["ts"].(float64); !ok || ts < 0 {
+				t.Fatalf("instant event %d has bad ts: %v", i, ev)
+			}
+		default:
+			t.Fatalf("event %d has unknown phase %q", i, ph)
+		}
+	}
+	if !sawMeta {
+		t.Fatal("no metadata (track name) events emitted")
+	}
+}
+
+// TestConvertMapping checks a handful of semantic expectations on the
+// fixture rather than raw bytes: span boundaries, track regrouping, and
+// what gets skipped.
+func TestConvertMapping(t *testing.T) {
+	tr := Convert(fixtureRun())
+	find := func(name string, ph string) *Event {
+		for i := range tr.TraceEvents {
+			if tr.TraceEvents[i].Name == name && tr.TraceEvents[i].Ph == ph {
+				return &tr.TraceEvents[i]
+			}
+		}
+		return nil
+	}
+
+	f1 := find("flow 1", "X")
+	if f1 == nil {
+		t.Fatal("no span for flow 1")
+	}
+	if f1.Ts != 2.0 || f1.Dur != 2.0 || f1.Pid != pidFlows {
+		t.Fatalf("flow 1 span = %+v, want ts=2 dur=2", f1)
+	}
+	if find("flow 3", "X") != nil {
+		t.Fatal("flow 3 has no lifecycle pair and must not get a span")
+	}
+
+	// The tor0:up0 dequeue: enqueue at 2.5−0.2=2.3 µs, dur 0.32 µs.
+	hop := find("pro-data flow 1 seq 1", "X")
+	if hop == nil {
+		t.Fatal("no dequeue span on the port track")
+	}
+	if hop.Pid != pidPorts || hop.Ts != 2.3 || hop.Dur != 0.32 {
+		t.Fatalf("dequeue span = %+v", hop)
+	}
+	drop := find("drop pro-data flow 1 seq 3", "i")
+	if drop == nil || drop.Args["reason"] != "red" {
+		t.Fatalf("port drop instant = %+v", drop)
+	}
+	for i := range tr.TraceEvents {
+		if tr.TraceEvents[i].Name == "pro-data flow 1 seq 4" {
+			t.Fatal("enq hop must not be rendered")
+		}
+	}
+
+	// Two ports, sorted: agg0:down1 gets tid 1, tor0:up0 tid 2.
+	if hop.Tid != 2 {
+		t.Fatalf("tor0:up0 on tid %d, want 2 (sorted after agg0:down1)", hop.Tid)
+	}
+
+	fault := find("rate-degrade tor0:up0", "i")
+	if fault == nil || fault.Pid != pidFaults || fault.Args["value"] != 0.5 {
+		t.Fatalf("fault instant = %+v", fault)
+	}
+}

@@ -1,0 +1,211 @@
+// Package prof is the engine self-profiler: it attaches to a sim.Engine's
+// dispatch hook and accumulates per-component wall time, event counts,
+// worst-case dispatch latency, and power-of-two latency histograms, keyed
+// by the component labels threaded through the engine's scheduling sites.
+//
+// Like trace.Ring, a nil *Profiler no-ops every method, so instrumented
+// code keeps unconditional calls. The observe path is allocation-free:
+// state lives in a fixed array indexed by the one-byte component label,
+// so attaching a profiler never perturbs the engine's zero-alloc dispatch
+// loop — and since component labels are pure metadata, flow results stay
+// bit-identical with profiling on or off.
+package prof
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"time"
+
+	"flexpass/internal/obs"
+	"flexpass/internal/sim"
+)
+
+// buckets is the latency histogram size: bucket i counts dispatches with
+// duration in [2^(i-1), 2^i) ns, matching obs.Histogram's scheme. 2^47 ns
+// is ~39 hours — far past any single dispatch.
+const buckets = 48
+
+// Stats is one component's accumulated dispatch accounting.
+type Stats struct {
+	Events  uint64        // dispatches attributed to the component
+	Wall    time.Duration // total wall time inside those dispatches
+	Max     time.Duration // worst single dispatch
+	Buckets [buckets]int64
+}
+
+// Profiler accumulates dispatch stats per component. Construct with New
+// and install with Attach; the zero value is usable but detached.
+type Profiler struct {
+	eng   *sim.Engine
+	stats [256]Stats
+}
+
+// New returns a detached profiler.
+func New() *Profiler { return &Profiler{} }
+
+// Attach installs the profiler on eng's dispatch hook and remembers the
+// engine so exports can resolve component names. Nil-safe: a nil
+// profiler leaves the engine unprofiled.
+func (p *Profiler) Attach(eng *sim.Engine) {
+	if p == nil {
+		return
+	}
+	p.eng = eng
+	eng.SetProfile(p.observe)
+}
+
+// observe is the dispatch hook. It must not allocate: it runs once per
+// engine event.
+func (p *Profiler) observe(c sim.Component, d time.Duration) {
+	s := &p.stats[c]
+	s.Events++
+	s.Wall += d
+	if d > s.Max {
+		s.Max = d
+	}
+	b := 0
+	if ns := d.Nanoseconds(); ns > 0 {
+		b = bits.Len64(uint64(ns))
+	}
+	if b >= buckets {
+		b = buckets - 1
+	}
+	s.Buckets[b]++
+}
+
+// Stats returns the accumulated stats for component c.
+func (p *Profiler) Stats(c sim.Component) Stats {
+	if p == nil {
+		return Stats{}
+	}
+	return p.stats[c]
+}
+
+// components lists the registered components that dispatched at least one
+// event, in label order (which is registration order).
+func (p *Profiler) components() []sim.Component {
+	if p == nil || p.eng == nil {
+		return nil
+	}
+	var out []sim.Component
+	for i := range p.eng.ComponentNames() {
+		if p.stats[i].Events > 0 {
+			out = append(out, sim.Component(i))
+		}
+	}
+	return out
+}
+
+// bucketLe is bucket i's exclusive ns upper bound.
+func bucketLe(i int) int64 {
+	if i >= 63 {
+		return 1<<63 - 1
+	}
+	return 1 << uint(i)
+}
+
+// Export renders the profile for the run manifest: one entry per
+// component that dispatched events, in registration order, with
+// zero-count histogram buckets elided. Nil-safe (returns nil).
+func (p *Profiler) Export() []obs.ComponentProfile {
+	if p == nil || p.eng == nil {
+		return nil
+	}
+	names := p.eng.ComponentNames()
+	var out []obs.ComponentProfile
+	for _, c := range p.components() {
+		s := &p.stats[c]
+		cp := obs.ComponentProfile{
+			Component: names[c],
+			Events:    s.Events,
+			WallNs:    s.Wall.Nanoseconds(),
+			MaxNs:     s.Max.Nanoseconds(),
+		}
+		for i, n := range s.Buckets {
+			if n == 0 {
+				continue
+			}
+			cp.Le = append(cp.Le, bucketLe(i))
+			cp.Counts = append(cp.Counts, n)
+		}
+		out = append(out, cp)
+	}
+	return out
+}
+
+// WriteFolded emits the profile in folded-stacks form — one
+// "engine;<component> <wall_us>" line per component — the input format
+// flamegraph.pl and speedscope accept. Components that dispatched events
+// but accumulated less than a microsecond are clamped to 1 so they stay
+// visible. Lines are sorted by descending wall time.
+func (p *Profiler) WriteFolded(w io.Writer) error {
+	if p == nil || p.eng == nil {
+		return nil
+	}
+	comps := p.components()
+	sort.Slice(comps, func(i, j int) bool {
+		a, b := &p.stats[comps[i]], &p.stats[comps[j]]
+		if a.Wall != b.Wall {
+			return a.Wall > b.Wall
+		}
+		return comps[i] < comps[j]
+	})
+	names := p.eng.ComponentNames()
+	for _, c := range comps {
+		s := &p.stats[c]
+		us := s.Wall.Microseconds()
+		if us < 1 {
+			us = 1
+		}
+		if _, err := fmt.Fprintf(w, "engine;%s %d\n", names[c], us); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTable renders a human-readable summary sorted by descending wall
+// time: component, events, total wall, mean and max dispatch.
+func (p *Profiler) WriteTable(w io.Writer) error {
+	if p == nil || p.eng == nil {
+		return nil
+	}
+	comps := p.components()
+	sort.Slice(comps, func(i, j int) bool {
+		a, b := &p.stats[comps[i]], &p.stats[comps[j]]
+		if a.Wall != b.Wall {
+			return a.Wall > b.Wall
+		}
+		return comps[i] < comps[j]
+	})
+	names := p.eng.ComponentNames()
+	var totalWall time.Duration
+	var totalEvents uint64
+	for _, c := range comps {
+		totalWall += p.stats[c].Wall
+		totalEvents += p.stats[c].Events
+	}
+	if _, err := fmt.Fprintf(w, "%-24s %12s %12s %10s %10s %6s\n",
+		"COMPONENT", "EVENTS", "WALL", "MEAN", "MAX", "%"); err != nil {
+		return err
+	}
+	for _, c := range comps {
+		s := &p.stats[c]
+		mean := time.Duration(0)
+		if s.Events > 0 {
+			mean = s.Wall / time.Duration(s.Events)
+		}
+		pct := 0.0
+		if totalWall > 0 {
+			pct = 100 * float64(s.Wall) / float64(totalWall)
+		}
+		if _, err := fmt.Fprintf(w, "%-24s %12d %12s %10s %10s %5.1f%%\n",
+			names[c], s.Events, s.Wall.Round(time.Microsecond), mean, s.Max, pct); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-24s %12d %12s\n", "total", totalEvents, totalWall.Round(time.Microsecond))
+	return err
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestComponentInterning covers the registry: component 0 is "engine",
+// repeated names intern to the same label, and names resolve back.
+func TestComponentInterning(t *testing.T) {
+	e := NewEngine(1)
+	if got := e.ComponentNames(); len(got) != 1 || got[0] != "engine" {
+		t.Fatalf("fresh engine components = %v, want [engine]", got)
+	}
+	a := e.Component("netem/tx")
+	b := e.Component("transport/flexpass")
+	if a2 := e.Component("netem/tx"); a2 != a {
+		t.Fatalf("re-interning returned %d, want %d", a2, a)
+	}
+	if a == b || a == 0 || b == 0 {
+		t.Fatalf("distinct names must get distinct nonzero labels: %d %d", a, b)
+	}
+	names := e.ComponentNames()
+	if names[a] != "netem/tx" || names[b] != "transport/flexpass" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+// TestComponentInheritance verifies the attribution model: an event
+// scheduled while a component is current carries that label, and events
+// its callback schedules inherit it transitively — while an explicitly
+// re-stamped boundary switches attribution mid-dispatch.
+func TestComponentInheritance(t *testing.T) {
+	e := NewEngine(1)
+	compA := e.Component("a")
+	compB := e.Component("b")
+
+	got := map[string][]Component{}
+	observe := func(c Component, _ time.Duration) {
+		got["dispatch"] = append(got["dispatch"], c)
+	}
+	e.SetProfile(observe)
+
+	prev := e.SetComponent(compA)
+	e.After(Microsecond, func() {
+		// Inherit: this dispatch runs as compA, so this inner event
+		// must also be attributed to compA.
+		e.After(Microsecond, func() {})
+		// Explicit boundary: the next event runs as compB.
+		p := e.SetComponent(compB)
+		e.After(2*Microsecond, func() {})
+		e.SetComponent(p)
+	})
+	e.SetComponent(prev)
+	if cur := e.SetComponent(prev); cur != prev {
+		t.Fatalf("SetComponent returned %d, want restored %d", cur, prev)
+	}
+
+	e.Run(Second)
+	want := []Component{compA, compA, compB}
+	if len(got["dispatch"]) != len(want) {
+		t.Fatalf("dispatched %d events, want %d", len(got["dispatch"]), len(want))
+	}
+	for i, c := range want {
+		if got["dispatch"][i] != c {
+			t.Fatalf("dispatch %d attributed to %d, want %d", i, got["dispatch"][i], c)
+		}
+	}
+}
+
+// TestComponentDoesNotAffectOrder schedules an interleaved set of events
+// with and without component stamping and checks identical dispatch
+// order — attribution is pure metadata.
+func TestComponentDoesNotAffectOrder(t *testing.T) {
+	run := func(stamp bool) []int {
+		e := NewEngine(7)
+		c := e.Component("x")
+		var got []int
+		for i := 0; i < 100; i++ {
+			i := i
+			if stamp && i%3 == 0 {
+				prev := e.SetComponent(c)
+				e.At(Time(i%11)*Microsecond, func() { got = append(got, i) })
+				e.SetComponent(prev)
+			} else {
+				e.At(Time(i%11)*Microsecond, func() { got = append(got, i) })
+			}
+		}
+		e.Run(Second)
+		return got
+	}
+	plain, stamped := run(false), run(true)
+	if len(plain) != len(stamped) {
+		t.Fatalf("event counts differ: %d vs %d", len(plain), len(stamped))
+	}
+	for i := range plain {
+		if plain[i] != stamped[i] {
+			t.Fatalf("order diverged at %d: %d vs %d", i, plain[i], stamped[i])
+		}
+	}
+}
+
+// TestZeroAllocProfiledDispatch extends the steady-state allocation pin
+// to the profiled path: with a SetProfile hook installed (accumulating
+// into a fixed array, as internal/prof does) a schedule+dispatch cycle
+// must still perform zero heap allocations.
+func TestZeroAllocProfiledDispatch(t *testing.T) {
+	e := NewEngine(1)
+	var stats [256]struct {
+		n    uint64
+		wall time.Duration
+	}
+	e.SetProfile(func(c Component, d time.Duration) {
+		stats[c].n++
+		stats[c].wall += d
+	})
+	fn := func() {}
+	comp := e.Component("hot")
+	prev := e.SetComponent(comp)
+	for i := 0; i < 64; i++ {
+		e.After(Time(i)*Microsecond, fn)
+	}
+	e.Run(e.Now() + Millisecond)
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(Microsecond, fn)
+		e.Run(e.Now() + Millisecond)
+	})
+	e.SetComponent(prev)
+	if allocs != 0 {
+		t.Fatalf("profiled After+dispatch allocates %.1f objects/op, want 0", allocs)
+	}
+	if stats[comp].n == 0 {
+		t.Fatal("profile hook never observed the component")
+	}
+}

@@ -8,6 +8,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"time"
 )
 
 // Time is a simulated instant, in picoseconds since the start of the run.
@@ -49,11 +50,12 @@ func (t Time) String() string {
 // recycled through a free list; gen distinguishes incarnations so a stale
 // Timer for a recycled event cannot cancel its successor.
 type event struct {
-	at  Time
-	seq uint64 // insertion order, breaks ties deterministically
-	fn  func()
-	gen uint64
-	idx int32 // heap index; -1 when not in the heap
+	at   Time
+	seq  uint64 // insertion order, breaks ties deterministically
+	fn   func()
+	gen  uint64
+	idx  int32 // heap index; -1 when not in the heap
+	comp uint8 // Component that scheduled the event (attribution only)
 }
 
 // Timer is a handle to a scheduled event that can be cancelled. The zero
@@ -94,15 +96,76 @@ type Engine struct {
 	rng     *rand.Rand
 	stopped bool
 
+	// Component attribution. curComp labels whoever is currently
+	// scheduling: events stamped in At inherit it, and Run restores it
+	// from the dispatched event, so a callback's own scheduling is
+	// attributed to the component that scheduled the callback. This is
+	// pure metadata — (at, seq) ordering, and therefore simulation
+	// behaviour, never depends on it.
+	curComp   Component
+	compNames []string
+
+	// profile, when set, observes every dispatched event's component and
+	// wall-clock duration. Nil keeps the dispatch loop on the unprofiled
+	// fast path (no clock reads).
+	profile func(Component, time.Duration)
+
 	// Processed counts events dispatched so far (for perf reporting).
 	Processed uint64
 }
 
+// Component identifies who scheduled an event, for profiling attribution.
+// Component 0 is the generic "engine" label every engine starts with.
+type Component uint8
+
 // NewEngine returns an engine whose clock starts at zero and whose random
 // stream is seeded with seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{rng: rand.New(rand.NewSource(seed)), compNames: []string{"engine"}}
 }
+
+// Component interns name and returns its label. Repeated calls with the
+// same name return the same Component; registering more than 255 distinct
+// names panics (labels are deliberately one byte so they ride in event
+// struct padding). Interning is a setup-time operation — the linear scan
+// never runs on the dispatch path.
+func (e *Engine) Component(name string) Component {
+	for i, n := range e.compNames {
+		if n == name {
+			return Component(i)
+		}
+	}
+	if len(e.compNames) > 255 {
+		panic("sim: more than 256 components registered")
+	}
+	e.compNames = append(e.compNames, name)
+	return Component(len(e.compNames) - 1)
+}
+
+// ComponentNames returns the interned component names indexed by
+// Component value. The returned slice is the engine's own; don't mutate.
+func (e *Engine) ComponentNames() []string { return e.compNames }
+
+// SetComponent switches the current scheduling attribution and returns
+// the previous label, so boundaries stamp with
+//
+//	prev := eng.SetComponent(c)
+//	... schedule ...
+//	eng.SetComponent(prev)
+//
+// Events scheduled while a component is current inherit it, as do events
+// scheduled from inside their callbacks, transitively.
+func (e *Engine) SetComponent(c Component) (prev Component) {
+	prev = e.curComp
+	e.curComp = c
+	return prev
+}
+
+// SetProfile installs fn to observe every dispatched event's component
+// label and wall-clock dispatch duration. Passing nil removes the hook
+// and restores the unprofiled fast path. The hook must not allocate if
+// the caller wants to preserve the engine's zero-alloc dispatch.
+func (e *Engine) SetProfile(fn func(Component, time.Duration)) { e.profile = fn }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -139,6 +202,7 @@ func (e *Engine) At(t Time, fn func()) Timer {
 	ev.at = t
 	ev.seq = e.seq
 	ev.fn = fn
+	ev.comp = uint8(e.curComp)
 	e.seq++
 	e.push(ev)
 	return Timer{eng: e, ev: ev, gen: ev.gen}
@@ -215,11 +279,21 @@ func (e *Engine) Run(until Time) {
 		e.popMin()
 		e.now = next.at
 		fn := next.fn
+		comp := Component(next.comp)
 		// Recycle before dispatch: a callback that schedules reuses this
 		// event immediately, keeping the working set hot.
 		e.recycle(next)
 		e.Processed++
-		fn()
+		// The dispatching component becomes current so events the callback
+		// schedules inherit its attribution.
+		e.curComp = comp
+		if e.profile == nil {
+			fn()
+		} else {
+			start := time.Now()
+			fn()
+			e.profile(comp, time.Since(start))
+		}
 	}
 	if e.now < until {
 		e.now = until

@@ -117,6 +117,41 @@ func TestOverwrittenCounts(t *testing.T) {
 	}
 }
 
+// TestWrapExactMultiple pins overwrite accounting at capacity boundaries:
+// after writing an exact multiple of the capacity the cursor is back at
+// the start, the survivors are the last full window, and Overwritten
+// equals writes minus capacity — no off-by-one at the seam.
+func TestWrapExactMultiple(t *testing.T) {
+	eng := sim.NewEngine(1)
+	const capacity = 4
+	r := NewRing(eng, capacity)
+	for round := 1; round <= 3; round++ {
+		for i := 0; i < capacity; i++ {
+			i, round := i, round
+			eng.At(sim.Time(round*100+i)*sim.Microsecond, func() {
+				r.Add(Drop, uint64(round*100+i), 0, "")
+			})
+		}
+		eng.Run(sim.Time(round+1) * 100 * sim.Microsecond)
+		evs := r.Events()
+		if len(evs) != capacity {
+			t.Fatalf("round %d: len = %d, want %d", round, len(evs), capacity)
+		}
+		// The survivors are exactly this round's window, in time order.
+		for i, ev := range evs {
+			if ev.Flow != uint64(round*100+i) {
+				t.Fatalf("round %d survivor %d = flow %d, want %d", round, i, ev.Flow, round*100+i)
+			}
+			if ev.At != sim.Time(round*100+i)*sim.Microsecond {
+				t.Fatalf("round %d survivor %d timestamp wrong: %v", round, i, ev.At)
+			}
+		}
+		if want := int64((round - 1) * capacity); r.Overwritten() != want {
+			t.Fatalf("round %d: overwritten = %d, want %d", round, r.Overwritten(), want)
+		}
+	}
+}
+
 func TestKindNames(t *testing.T) {
 	if FlowStart.String() != "flow-start" || Custom.String() != "custom" {
 		t.Fatal("kind names wrong")
