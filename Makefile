@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-core check bench bench-sim bench-hot bench-baseline bench-compare lake-baseline lake-regression sweep-demo forensics-demo faults-demo clean clean-results
+.PHONY: all build vet test race race-core race-shard check bench bench-sim bench-hot bench-shards bench-baseline bench-compare lake-baseline lake-regression sweep-demo forensics-demo faults-demo clean clean-results
 
 all: check
 
@@ -26,6 +26,14 @@ race:
 race-core:
 	$(GO) test -race ./internal/sim/... ./internal/netem/... ./internal/transport/... ./internal/faults/...
 
+# Parallel-engine race pass: the shard barrier/horizon/handoff protocol
+# (internal/sim/shard) plus the harness's sharded determinism suite,
+# which exercises cross-shard flow starts, fault injection, and the
+# live-status publisher goroutine under -race.
+race-shard:
+	$(GO) test -race ./internal/sim/shard/
+	$(GO) test -race -run 'Sharded' ./internal/harness/
+
 check: vet build race
 
 # Figure-level benchmarks (one per paper figure) plus the simulator's
@@ -46,6 +54,16 @@ HOT_NETEM = BenchmarkPortForward|BenchmarkHostHop
 bench-hot:
 	@$(GO) test -bench '$(HOT_SIM)' -benchmem -benchtime 1s -run '^$$' ./internal/sim/
 	@$(GO) test -bench '$(HOT_NETEM)' -benchmem -benchtime 1s -run '^$$' ./internal/netem/
+
+# Parallel-engine scaling series: events/sec at 1/2/4/8 shards on the
+# small, paper, and big (768-host) fabrics, web-search at load 0.8,
+# recorded as BENCH_PR8.json. The "cpus" metric records how many cores
+# the run had — on a single-core machine the series measures
+# synchronization overhead, not speedup (DESIGN.md §8).
+bench-shards:
+	@$(GO) test -bench 'BenchmarkShardScaling' -benchtime 1x -run '^$$' . \
+	 | $(GO) run ./cmd/benchjson parse > BENCH_PR8.json
+	@echo wrote BENCH_PR8.json
 
 # bench-baseline records the hot-path numbers of the current tree into
 # bench-baseline.json; run it on the pre-change commit. bench-compare

@@ -74,6 +74,7 @@ func runCmd(args []string) {
 	workers := fs.Int("workers", 0, "worker pool size (0 = all cores)")
 	force := fs.Bool("force", false, "re-run scenarios even when a valid artifact exists")
 	verbose := fs.Bool("v", false, "log one line per scenario outcome")
+	shards := fs.Int("shards", -1, "override the spec's shards axis with one parallel-engine shard count (0 = single engine, -1 = use the spec)")
 	serve := fs.String("serve", "", "serve live /status, /metrics, and pprof on this address (e.g. :8080)")
 	linger := fs.Duration("serve-linger", 0, "keep the -serve endpoint up this long after the sweep finishes")
 	summaryEvery := fs.Duration("summary-every", 2*time.Second, "periodic progress summary interval (0 disables)")
@@ -84,6 +85,9 @@ func runCmd(args []string) {
 	s, err := farm.ParseSpecFile(*spec)
 	if err != nil {
 		fatal(err)
+	}
+	if *shards >= 0 {
+		s.Shards = []int{*shards}
 	}
 	points, err := s.Points()
 	if err != nil {

@@ -20,7 +20,9 @@ import (
 	"flexpass/internal/live"
 	"flexpass/internal/metrics"
 	"flexpass/internal/obs"
+	"flexpass/internal/prof"
 	"flexpass/internal/sim"
+	"flexpass/internal/topo"
 	"flexpass/internal/transport"
 	"flexpass/internal/units"
 	"flexpass/internal/workload"
@@ -39,7 +41,9 @@ func main() {
 		incast     = flag.Float64("incast", 0, "foreground incast volume fraction (0 disables)")
 		wq         = flag.Float64("wq", 0.5, "FlexPass queue weight")
 		full       = flag.Bool("full", false, "use the paper's 192-host Clos instead of the scaled fabric")
+		topoName   = flag.String("topo", "", "fabric by name: small (48 hosts), paper (192), big (768); overrides -full")
 		queues     = flag.Bool("queues", false, "sample Q1 occupancy at ToR uplinks")
+		shards     = flag.Int("shards", 1, "partition the fabric into this many per-pod-block shards, one engine goroutine each (1 = single engine; clamped to the pod count)")
 		traceIn    = flag.String("trace", "", "replay a CSV flow trace instead of generating traffic")
 		traceOut   = flag.String("dump-trace", "", "write the generated workload as a CSV trace and exit")
 		telOut     = flag.String("telemetry-out", "", "write the run artifact (manifest, series, counters, trace) as JSONL — or CSV if the path ends in .csv")
@@ -70,6 +74,18 @@ func main() {
 	}
 
 	sc := harness.BaseScenario(*full)
+	switch *topoName {
+	case "":
+	case "small":
+		sc.Clos = topo.SmallClos
+	case "paper":
+		sc.Clos = topo.PaperClos
+	case "big":
+		sc.Clos = topo.BigClos
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -topo %q (want small, paper, big)\n", *topoName)
+		os.Exit(1)
+	}
 	sc.Scheme = harness.Scheme(*scheme)
 	sc.Deployment = *deployment
 	sc.Load = *load
@@ -79,6 +95,11 @@ func main() {
 	sc.IncastFraction = *incast
 	sc.SampleQueues = *queues
 	sc.PoolPackets = *poolPkts
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "-shards must be >= 1 (got %d)\n", *shards)
+		os.Exit(1)
+	}
+	sc.Shards = *shards
 	if *schemeOpts != "" {
 		sc.SchemeOptions = make(map[string]string)
 		for _, kv := range strings.Split(*schemeOpts, ",") {
@@ -145,6 +166,10 @@ func main() {
 		sc.Telemetry = &obs.Options{TraceCap: *traceRing}
 	}
 	if *forOut != "" || *traceFlow != "" {
+		if *shards > 1 {
+			fmt.Fprintln(os.Stderr, "forensics (-forensics-out / -trace-flow) requires the single-engine path; drop -shards or set it to 1")
+			os.Exit(1)
+		}
 		fo := &forensics.Options{}
 		for _, s := range strings.Split(*traceFlow, ",") {
 			if s = strings.TrimSpace(s); s == "" {
@@ -239,13 +264,15 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "heap profile written to %s\n", *memOut)
 	}
-	if *profOut != "" && res.Profiler != nil {
+	if *profOut != "" && res.Profile != nil {
+		// Sharded runs merge per-shard profiler exports into res.Profile and
+		// leave res.Profiler nil, so render from the export either way.
 		if *profOut == "-" {
-			res.Profiler.WriteTable(os.Stderr)
+			_ = prof.WriteTableProfile(os.Stderr, res.Profile)
 		} else {
 			f, err := os.Create(*profOut)
 			if err == nil {
-				err = res.Profiler.WriteFolded(f)
+				err = prof.WriteFoldedProfile(f, res.Profile)
 				if cerr := f.Close(); err == nil {
 					err = cerr
 				}
@@ -255,7 +282,7 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Fprintf(os.Stderr, "engine profile (folded stacks) written to %s\n", *profOut)
-			res.Profiler.WriteTable(os.Stderr)
+			_ = prof.WriteTableProfile(os.Stderr, res.Profile)
 		}
 	}
 	if srv != nil {
@@ -330,7 +357,7 @@ func main() {
 	if res.Faults != nil {
 		fs := res.FaultDrops
 		fmt.Printf("faults: %d actions applied, %d packets destroyed (link-down %d, burst %d, credit %d)\n",
-			len(res.Faults.Actions), fs.Injected, fs.LinkDown, fs.BurstLoss, fs.CreditLoss)
+			res.Faults.Len(), fs.Injected, fs.LinkDown, fs.BurstLoss, fs.CreditLoss)
 	}
 	if sc.SampleQueues {
 		fmt.Printf("Q1 occupancy: avg %dB (red %dB), p90 %dB (red %dB)\n",

@@ -49,6 +49,8 @@ var Topologies = map[string]topo.ClosParams{
 	"small": topo.SmallClos,
 	// paper: the §6.2 192-host fabric.
 	"paper": topo.PaperClos,
+	// big: the 768-host fabric for parallel-engine scaling runs.
+	"big": topo.BigClos,
 }
 
 // Spec is a JSON sweep specification. Every list axis cross-multiplies;
@@ -65,6 +67,7 @@ type Spec struct {
 	Deployments []float64           `json:"deployment,omitempty"` // default [0.5]
 	WQs         []float64           `json:"wq,omitempty"`         // default [0.5]
 	Seeds       []int64             `json:"seed,omitempty"`       // default [1]
+	Shards      []int               `json:"shards,omitempty"`     // parallel-engine shard counts; default [0] = single engine
 
 	// Faults lists fault timelines: "" (or omitted) is a clean run, a
 	// path ending in .json is a plan file, anything else is the
@@ -128,7 +131,7 @@ func (s *Spec) Validate() error {
 	}
 	for _, t := range s.Topologies {
 		if _, ok := Topologies[t]; !ok {
-			return fmt.Errorf("farm: unknown topology %q (want tiny, small, paper)", t)
+			return fmt.Errorf("farm: unknown topology %q (want tiny, small, paper, big)", t)
 		}
 	}
 	for _, w := range s.Workloads {
@@ -153,6 +156,11 @@ func (s *Spec) Validate() error {
 	}
 	if s.DurationMS < 0 || s.DrainMS < 0 {
 		return fmt.Errorf("farm: negative duration")
+	}
+	for _, n := range s.Shards {
+		if n < 0 {
+			return fmt.Errorf("farm: shards %d negative", n)
+		}
 	}
 	for _, f := range s.Faults {
 		if f == "" {
@@ -197,6 +205,9 @@ type Point struct {
 	Deployment float64           `json:"deployment"`
 	WQ         float64           `json:"wq"`
 	Seed       int64             `json:"seed"`
+	// Shards selects the parallel engine (0 = single engine). Omitted
+	// when zero so pre-sharding point hashes are unchanged.
+	Shards int `json:"shards,omitempty"`
 	// Fault is the spec entry for display; FaultHash is the resolved
 	// plan's content hash and the part that enters the identity (so a
 	// renamed plan file with the same timeline is the same point).
@@ -236,6 +247,9 @@ func (p Point) Label() string {
 	if p.Fault != "" {
 		l += " fault=" + p.Fault
 	}
+	if p.Shards > 0 {
+		l += fmt.Sprintf(" shards=%d", p.Shards)
+	}
 	return l
 }
 
@@ -252,6 +266,7 @@ func (p Point) Scenario() harness.Scenario {
 	sc.Deployment = p.Deployment
 	sc.WQ = p.WQ
 	sc.Seed = p.Seed
+	sc.Shards = p.Shards
 	sc.Duration = sim.Time(p.DurationMS * float64(sim.Millisecond))
 	sc.Drain = sim.Time(p.DrainMS * float64(sim.Millisecond))
 	sc.IncastFraction = p.IncastFraction
@@ -276,7 +291,7 @@ func orDefault[T any](axis []T, def T) []T {
 
 // Points expands the spec's cross-product in a fixed axis order
 // (scheme, options, topology, workload, load, deployment, wq, fault,
-// seed), resolving every fault entry once.
+// seed, shards), resolving every fault entry once.
 func (s *Spec) Points() ([]Point, error) {
 	opts := s.Options
 	if len(opts) == 0 {
@@ -288,6 +303,7 @@ func (s *Spec) Points() ([]Point, error) {
 	deps := orDefault(s.Deployments, 0.5)
 	wqs := orDefault(s.WQs, 0.5)
 	seeds := orDefault(s.Seeds, 1)
+	shards := orDefault(s.Shards, 0)
 	fault := orDefault(s.Faults, "")
 
 	durMS := s.DurationMS
@@ -322,16 +338,19 @@ func (s *Spec) Points() ([]Point, error) {
 							for _, wq := range wqs {
 								for fi, f := range fault {
 									for _, seed := range seeds {
-										pts = append(pts, Point{
-											Sweep: s.Name, Scheme: sch, Options: opt,
-											Topo: tp, Workload: wl,
-											Load: load, Deployment: dep, WQ: wq,
-											Seed: seed, Fault: f, FaultHash: hashes[fi],
-											DurationMS: durMS, DrainMS: drainMS,
-											IncastFraction: s.IncastFraction,
-											PoolPackets:    s.PoolPackets,
-											plan:           plans[fi],
-										})
+										for _, nsh := range shards {
+											pts = append(pts, Point{
+												Sweep: s.Name, Scheme: sch, Options: opt,
+												Topo: tp, Workload: wl,
+												Load: load, Deployment: dep, WQ: wq,
+												Seed: seed, Shards: nsh,
+												Fault: f, FaultHash: hashes[fi],
+												DurationMS: durMS, DrainMS: drainMS,
+												IncastFraction: s.IncastFraction,
+												PoolPackets:    s.PoolPackets,
+												plan:           plans[fi],
+											})
+										}
 									}
 								}
 							}

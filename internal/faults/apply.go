@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"path"
 	"sort"
+	"sync"
 
 	"flexpass/internal/netem"
 	"flexpass/internal/obs"
@@ -24,10 +25,27 @@ type Action struct {
 // Applied is the execution log of a plan: every action in simulation
 // order, appended as the scheduled timers fire. It doubles as the
 // telemetry bridge — Register exposes the running action count, and
-// Export converts the log to obs artifact lines.
+// Export converts the log to obs artifact lines. Sharded runs fire
+// timers from several shard goroutines, so the log is mutex-guarded.
 type Applied struct {
-	Plan    *Plan
-	Actions []Action
+	Plan *Plan
+
+	mu      sync.Mutex
+	actions []Action
+}
+
+// Len returns the number of actions fired so far.
+func (a *Applied) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.actions)
+}
+
+// Snapshot returns a copy of the fired-action log.
+func (a *Applied) Snapshot() []Action {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Action(nil), a.actions...)
 }
 
 // Apply resolves every event's link pattern against the network's port
@@ -45,9 +63,23 @@ func Apply(p *Plan, eng *sim.Engine, net *netem.Network) (*Applied, error) {
 	}
 	a := &Applied{Plan: p}
 	// All fault timers — and anything their engage/clear closures
-	// schedule — attribute to the "faults" component.
-	prev := eng.SetComponent(eng.Component("faults"))
-	defer eng.SetComponent(prev)
+	// schedule — attribute to the "faults" component. A port always
+	// schedules on its own engine so sharded runs flip port state from
+	// the goroutine that owns it; single-engine runs resolve every port
+	// to eng and behave exactly as before.
+	restore := map[*sim.Engine]sim.Component{}
+	faultsComp := func(e *sim.Engine) *sim.Engine {
+		if _, ok := restore[e]; !ok {
+			restore[e] = e.SetComponent(e.Component("faults"))
+		}
+		return e
+	}
+	defer func() {
+		for e, prev := range restore {
+			e.SetComponent(prev)
+		}
+	}()
+	faultsComp(eng)
 	for i := range p.Events {
 		ev := &p.Events[i]
 		ports := matchPorts(net, ev.Link)
@@ -56,16 +88,21 @@ func Apply(p *Plan, eng *sim.Engine, net *netem.Network) (*Applied, error) {
 		}
 		for _, port := range ports {
 			port := port
+			pe := eng
+			if e := port.Engine(); e != nil {
+				pe = e
+			}
+			faultsComp(pe)
 			engage, clear, val := actions(ev, port)
 			at := ev.At.Time()
-			eng.At(at, func() {
+			pe.At(at, func() {
 				engage()
 				a.record(at, ev.Kind, port, val)
 			})
 			if ev.End != 0 && clear != nil {
 				end := ev.End.Time()
 				kind := clearKind(ev.Kind)
-				eng.At(end, func() {
+				pe.At(end, func() {
 					clear()
 					a.record(end, kind, port, 0)
 				})
@@ -153,7 +190,9 @@ func clearKind(k Kind) Kind {
 
 // record appends one fired action to the log.
 func (a *Applied) record(at sim.Time, kind Kind, p *netem.Port, val float64) {
-	a.Actions = append(a.Actions, Action{At: at, Kind: kind, Link: p.Name(), Value: val})
+	a.mu.Lock()
+	a.actions = append(a.actions, Action{At: at, Kind: kind, Link: p.Name(), Value: val})
+	a.mu.Unlock()
 }
 
 // Register exposes the plan's execution progress in the stats registry
@@ -163,22 +202,37 @@ func (a *Applied) Register(reg *obs.Registry) {
 		return
 	}
 	reg.CounterFunc("faults", "actions_applied", func() int64 {
-		return int64(len(a.Actions))
+		return int64(a.Len())
 	})
 }
 
 // Export converts the fired-action log into artifact lines, in
-// simulation order.
+// simulation order. Sharded runs append from several goroutines in
+// nondeterministic interleave, so the sort key covers the whole line —
+// (time, kind, link, value) — making the artifact a pure function of
+// what fired, not of goroutine scheduling.
 func (a *Applied) Export() []obs.FaultData {
 	if a == nil {
 		return nil
 	}
-	out := make([]obs.FaultData, 0, len(a.Actions))
-	for _, ac := range a.Actions {
+	acts := a.Snapshot()
+	out := make([]obs.FaultData, 0, len(acts))
+	for _, ac := range acts {
 		out = append(out, obs.FaultData{
 			AtPs: int64(ac.At), Kind: string(ac.Kind), Link: ac.Link, Value: ac.Value,
 		})
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].AtPs < out[j].AtPs })
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].AtPs != out[j].AtPs {
+			return out[i].AtPs < out[j].AtPs
+		}
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		if out[i].Link != out[j].Link {
+			return out[i].Link < out[j].Link
+		}
+		return out[i].Value < out[j].Value
+	})
 	return out
 }

@@ -244,10 +244,11 @@ func TestApplyFlap(t *testing.T) {
 	if st := bottleneck.FaultStats(); st.LinkDown != 1 {
 		t.Fatalf("FaultStats = %+v, want 1 link-down drop", st)
 	}
-	if len(applied.Actions) != 2 ||
-		applied.Actions[0].Kind != LinkDown || applied.Actions[0].At != sim.Millisecond ||
-		applied.Actions[1].Kind != LinkUp || applied.Actions[1].At != 2*sim.Millisecond {
-		t.Fatalf("action log: %+v", applied.Actions)
+	acts := applied.Snapshot()
+	if len(acts) != 2 ||
+		acts[0].Kind != LinkDown || acts[0].At != sim.Millisecond ||
+		acts[1].Kind != LinkUp || acts[1].At != 2*sim.Millisecond {
+		t.Fatalf("action log: %+v", acts)
 	}
 	exp := applied.Export()
 	if len(exp) != 2 || exp[0].Kind != "link-down" || exp[0].Link != "sw0->h2" {

@@ -133,12 +133,13 @@ func TestFaultedDigestDeterminism(t *testing.T) {
 		t.Fatalf("fault accounting diverged: %+v vs %+v", res1.FaultDrops, res2.FaultDrops)
 	}
 	// The action logs replay identically too.
-	if len(res1.Faults.Actions) != len(res2.Faults.Actions) {
-		t.Fatalf("action logs diverged: %d vs %d", len(res1.Faults.Actions), len(res2.Faults.Actions))
+	acts1, acts2 := res1.Faults.Snapshot(), res2.Faults.Snapshot()
+	if len(acts1) != len(acts2) {
+		t.Fatalf("action logs diverged: %d vs %d", len(acts1), len(acts2))
 	}
-	for i := range res1.Faults.Actions {
-		if res1.Faults.Actions[i] != res2.Faults.Actions[i] {
-			t.Fatalf("action %d diverged: %+v vs %+v", i, res1.Faults.Actions[i], res2.Faults.Actions[i])
+	for i := range acts1 {
+		if acts1[i] != acts2[i] {
+			t.Fatalf("action %d diverged: %+v vs %+v", i, acts1[i], acts2[i])
 		}
 	}
 	// And the clean run differs — the faults are actually in the digest.
@@ -157,9 +158,9 @@ func TestFaultArtifactLines(t *testing.T) {
 	sc.Telemetry = &obs.Options{}
 	res := Run(sc)
 
-	if len(res.Telemetry.Faults) != len(res.Faults.Actions) {
+	if len(res.Telemetry.Faults) != res.Faults.Len() {
 		t.Fatalf("artifact carries %d fault lines, run fired %d actions",
-			len(res.Telemetry.Faults), len(res.Faults.Actions))
+			len(res.Telemetry.Faults), res.Faults.Len())
 	}
 	var buf bytes.Buffer
 	if err := res.Telemetry.WriteJSONL(&buf); err != nil {

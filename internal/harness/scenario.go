@@ -72,6 +72,17 @@ type Scenario struct {
 	// SampleQueues enables Q1 occupancy sampling at ToR uplinks.
 	SampleQueues bool
 
+	// Shards requests the parallel engine: the Clos is partitioned into
+	// per-pod-block subtrees (cores with pod 0), each driven by its own
+	// engine goroutine, synchronized conservatively on the agg↔core
+	// propagation delay (see internal/sim/shard). 0 or 1 — or a fabric
+	// with nothing to cut — runs the exact single-engine path. The
+	// effective count (min(Shards, Clos.Pods)) lands in the manifest.
+	// Results are deterministic per shard count but not bit-identical
+	// across counts (per-shard RNG streams); Forensics requires the
+	// single-engine path and panics when combined with Shards > 1.
+	Shards int
+
 	// Telemetry, when non-nil, enables the obs instrumentation plane:
 	// the fabric and every transport register into a central registry, a
 	// periodic prober samples them into time series, and Result.Telemetry
@@ -259,8 +270,86 @@ func rackAssignment(c topo.ClosParams) []int {
 	return rackOf
 }
 
+// runPlan is the engine-independent half of a run: the generated flow
+// list and the deployment assignment. The single-engine and sharded
+// paths share it verbatim, so both see the same specs in the same order.
+type runPlan struct {
+	hosts    int
+	rackOf   []int
+	enabled  map[int]bool
+	flows    []workload.FlowSpec
+	oracleWQ float64
+}
+
+// upgraded reports whether a flow runs the active (non-legacy) scheme:
+// both endpoints' racks must be deployment-enabled.
+func (p *runPlan) upgraded(f workload.FlowSpec) bool {
+	return p.enabled[p.rackOf[f.Src]] && p.enabled[p.rackOf[f.Dst]]
+}
+
+// planWorkload generates the scenario's flow list, rack deployment, and
+// the oWF oracle weight (which needs the true upgraded-traffic
+// fraction, hence workload first).
+func planWorkload(sc Scenario) *runPlan {
+	p := &runPlan{
+		hosts:  sc.Clos.Hosts(),
+		rackOf: rackAssignment(sc.Clos),
+	}
+	racks := p.hosts / sc.Clos.HostsPerTor
+	p.enabled = workload.DeployRacks(racks, sc.Deployment)
+	wlRand := WorkloadRand(sc.Seed)
+	uplinks := racks * sc.Clos.AggPerPod // ToR uplink count
+	bg := workload.BackgroundParams{
+		CDF:            sc.Workload,
+		Hosts:          p.hosts,
+		RackOf:         p.rackOf,
+		UplinkCapacity: units.Rate(int64(sc.LinkRate) * int64(uplinks)),
+		Load:           sc.Load,
+		Duration:       sc.Duration,
+	}
+	if sc.TraceFlows != nil {
+		p.flows = sc.TraceFlows
+	} else {
+		p.flows = bg.Generate(wlRand)
+	}
+	if sc.TraceFlows == nil && sc.IncastFraction > 0 {
+		bgBytesPerSec := sc.Load * float64(bg.UplinkCapacity) / 8
+		inc := workload.IncastParams{
+			Hosts:          p.hosts,
+			FlowsPerSender: 4,
+			FlowSize:       sc.IncastFlowSize,
+			EventRate:      workload.EventRateFor(sc.IncastFraction, bgBytesPerSec, p.hosts, 4, sc.IncastFlowSize),
+			Duration:       sc.Duration,
+		}
+		p.flows = workload.Merge(p.flows, inc.Generate(wlRand))
+	}
+	var upBytes, totBytes float64
+	for _, f := range p.flows {
+		totBytes += float64(f.Size)
+		if p.upgraded(f) {
+			upBytes += float64(f.Size)
+		}
+	}
+	p.oracleWQ = 0.5
+	if totBytes > 0 {
+		p.oracleWQ = upBytes / totBytes
+	}
+	if p.oracleWQ < 0.02 {
+		p.oracleWQ = 0.02
+	}
+	if p.oracleWQ > 0.98 {
+		p.oracleWQ = 0.98
+	}
+	return p
+}
+
 // Run executes the scenario and returns collected metrics.
 func Run(sc Scenario) *Result {
+	if sc.Shards > 1 {
+		if podShard := topo.ClosPodShards(sc.Clos, sc.Shards); topo.Shards(podShard) > 1 {
+			return runSharded(sc, podShard)
+		}
+	}
 	eng := sim.NewEngine(sc.Seed)
 	// Forensics implies telemetry: timelines need the registry and a
 	// lifecycle trace ring. Copy the options so the caller's struct is
@@ -295,61 +384,9 @@ func Run(sc Scenario) *Result {
 			ring = trace.NewRing(eng, tel.TraceCap)
 		}
 	}
-	rackOf := rackAssignment(sc.Clos)
-	hosts := sc.Clos.Hosts()
-	racks := hosts / sc.Clos.HostsPerTor
-	enabled := workload.DeployRacks(racks, sc.Deployment)
-
-	// Generate workload first: the oWF oracle weight needs the true
-	// upgraded-traffic fraction.
-	wlRand := WorkloadRand(sc.Seed)
-	uplinks := racks * sc.Clos.AggPerPod // ToR uplink count
-	bg := workload.BackgroundParams{
-		CDF:            sc.Workload,
-		Hosts:          hosts,
-		RackOf:         rackOf,
-		UplinkCapacity: units.Rate(int64(sc.LinkRate) * int64(uplinks)),
-		Load:           sc.Load,
-		Duration:       sc.Duration,
-	}
-	var flows []workload.FlowSpec
-	if sc.TraceFlows != nil {
-		flows = sc.TraceFlows
-	} else {
-		flows = bg.Generate(wlRand)
-	}
-	if sc.TraceFlows == nil && sc.IncastFraction > 0 {
-		bgBytesPerSec := sc.Load * float64(bg.UplinkCapacity) / 8
-		inc := workload.IncastParams{
-			Hosts:          hosts,
-			FlowsPerSender: 4,
-			FlowSize:       sc.IncastFlowSize,
-			EventRate:      workload.EventRateFor(sc.IncastFraction, bgBytesPerSec, hosts, 4, sc.IncastFlowSize),
-			Duration:       sc.Duration,
-		}
-		flows = workload.Merge(flows, inc.Generate(wlRand))
-	}
-
-	upgraded := func(f workload.FlowSpec) bool {
-		return enabled[rackOf[f.Src]] && enabled[rackOf[f.Dst]]
-	}
-	var upBytes, totBytes float64
-	for _, f := range flows {
-		totBytes += float64(f.Size)
-		if upgraded(f) {
-			upBytes += float64(f.Size)
-		}
-	}
-	oracleWQ := 0.5
-	if totBytes > 0 {
-		oracleWQ = upBytes / totBytes
-	}
-	if oracleWQ < 0.02 {
-		oracleWQ = 0.02
-	}
-	if oracleWQ > 0.98 {
-		oracleWQ = 0.98
-	}
+	plan := planWorkload(sc)
+	flows, hosts, oracleWQ := plan.flows, plan.hosts, plan.oracleWQ
+	upgraded := plan.upgraded
 
 	// Compose the transports from the scheme registry. The legacy side is
 	// always DCTCP; the upgraded side is whatever sc.Scheme names. Both
@@ -575,30 +612,7 @@ func Run(sc Scenario) *Result {
 		res.QueueAvg, res.QueueP90 = metrics.Stats(totals, 0.9)
 		res.QueueRedAvg, res.QueueRedP90 = metrics.Stats(reds, 0.9)
 	}
-	countPort := func(p *netem.Port) {
-		fs := p.FaultStats()
-		res.FaultDrops.Injected += fs.Injected
-		res.FaultDrops.LinkDown += fs.LinkDown
-		res.FaultDrops.BurstLoss += fs.BurstLoss
-		res.FaultDrops.CreditLoss += fs.CreditLoss
-		for q := 0; q < p.NumQueues(); q++ {
-			st := p.QueueStats(q)
-			res.DropsRed += st.DroppedRed
-			if p.QueueConfig(q).RateLimit > 0 {
-				res.DropsCredit += st.DroppedOver
-			} else {
-				res.DropsOther += st.DroppedOver
-			}
-		}
-	}
-	for _, sw := range fab.Net.Switches {
-		for _, p := range sw.Ports() {
-			countPort(p)
-		}
-	}
-	for _, h := range fab.Net.Hosts {
-		countPort(h.NIC())
-	}
+	countFabricDrops(fab, res)
 	res.Events = eng.Processed
 	res.Trace = ring
 	if profiler != nil {
@@ -630,50 +644,7 @@ func Run(sc Scenario) *Result {
 	}
 
 	if reg != nil {
-		wl := ""
-		if sc.Workload != nil {
-			wl = sc.Workload.Name
-		}
-		wallMS := float64(res.WallClock) / float64(time.Millisecond)
-		eps := 0.0
-		if secs := res.WallClock.Seconds(); secs > 0 {
-			eps = float64(res.Events) / secs
-		}
-		config := map[string]string{
-			"link_rate":      sc.LinkRate.String(),
-			"link_delay":     sc.LinkDelay.String(),
-			"host_delay":     sc.HostDelay.String(),
-			"switch_buf":     sc.SwitchBuf.String(),
-			"buf_alpha":      fmt.Sprintf("%g", sc.BufAlpha),
-			"probe_interval": prober.Interval().String(),
-		}
-		for k, v := range sc.ManifestConfig {
-			config[k] = v
-		}
-		planName, planHash := "", ""
-		if sc.FaultPlan != nil {
-			planName, planHash = sc.FaultPlan.Name, sc.FaultPlan.Hash()
-		}
-		res.Telemetry = obs.Collect(reg, prober, obs.Manifest{
-			Seed: sc.Seed,
-			Topology: fmt.Sprintf("clos pods=%d agg/pod=%d tor/pod=%d hosts/tor=%d cores=%d hosts=%d",
-				sc.Clos.Pods, sc.Clos.AggPerPod, sc.Clos.TorPerPod, sc.Clos.HostsPerTor, sc.Clos.Cores, hosts),
-			Scheme:        string(sc.Scheme),
-			Workload:      wl,
-			Load:          sc.Load,
-			Deployment:    sc.Deployment,
-			WQ:            sc.WQ,
-			DurationPs:    int64(sc.Duration + sc.Drain),
-			SchemeOptions: sc.schemeOptions(),
-			FaultPlan:     planName,
-			FaultPlanHash: planHash,
-			Revision:      obs.RepoRevision(),
-			Config:        config,
-			WallMS:        wallMS,
-			Events:        res.Events,
-			EventsPerSec:  eps,
-			Profile:       res.Profile,
-		})
+		res.Telemetry = obs.Collect(reg, prober, buildManifest(sc, hosts, prober.Interval(), res, 0))
 		res.Telemetry.AttachTrace(ring)
 		if res.Forensics != nil {
 			res.Telemetry.Forensics = res.Forensics.Export()
@@ -681,4 +652,84 @@ func Run(sc Scenario) *Result {
 		res.Telemetry.Faults = res.Faults.Export()
 	}
 	return res
+}
+
+// countFabricDrops folds every port's drop and fault-loss counters into
+// the result. Runs after the engine(s) stop, from one goroutine.
+func countFabricDrops(fab *topo.Fabric, res *Result) {
+	countPort := func(p *netem.Port) {
+		fs := p.FaultStats()
+		res.FaultDrops.Injected += fs.Injected
+		res.FaultDrops.LinkDown += fs.LinkDown
+		res.FaultDrops.BurstLoss += fs.BurstLoss
+		res.FaultDrops.CreditLoss += fs.CreditLoss
+		for q := 0; q < p.NumQueues(); q++ {
+			st := p.QueueStats(q)
+			res.DropsRed += st.DroppedRed
+			if p.QueueConfig(q).RateLimit > 0 {
+				res.DropsCredit += st.DroppedOver
+			} else {
+				res.DropsOther += st.DroppedOver
+			}
+		}
+	}
+	for _, sw := range fab.Net.Switches {
+		for _, p := range sw.Ports() {
+			countPort(p)
+		}
+	}
+	for _, h := range fab.Net.Hosts {
+		countPort(h.NIC())
+	}
+}
+
+// buildManifest assembles the exported run manifest. shards is the
+// effective parallel-engine count (0 on the single-engine path, so the
+// field is omitted from the artifact exactly as before sharding).
+func buildManifest(sc Scenario, hosts int, probe sim.Time, res *Result, shards int) obs.Manifest {
+	wl := ""
+	if sc.Workload != nil {
+		wl = sc.Workload.Name
+	}
+	wallMS := float64(res.WallClock) / float64(time.Millisecond)
+	eps := 0.0
+	if secs := res.WallClock.Seconds(); secs > 0 {
+		eps = float64(res.Events) / secs
+	}
+	config := map[string]string{
+		"link_rate":      sc.LinkRate.String(),
+		"link_delay":     sc.LinkDelay.String(),
+		"host_delay":     sc.HostDelay.String(),
+		"switch_buf":     sc.SwitchBuf.String(),
+		"buf_alpha":      fmt.Sprintf("%g", sc.BufAlpha),
+		"probe_interval": probe.String(),
+	}
+	for k, v := range sc.ManifestConfig {
+		config[k] = v
+	}
+	planName, planHash := "", ""
+	if sc.FaultPlan != nil {
+		planName, planHash = sc.FaultPlan.Name, sc.FaultPlan.Hash()
+	}
+	return obs.Manifest{
+		Seed: sc.Seed,
+		Topology: fmt.Sprintf("clos pods=%d agg/pod=%d tor/pod=%d hosts/tor=%d cores=%d hosts=%d",
+			sc.Clos.Pods, sc.Clos.AggPerPod, sc.Clos.TorPerPod, sc.Clos.HostsPerTor, sc.Clos.Cores, hosts),
+		Scheme:        string(sc.Scheme),
+		Workload:      wl,
+		Load:          sc.Load,
+		Deployment:    sc.Deployment,
+		WQ:            sc.WQ,
+		DurationPs:    int64(sc.Duration + sc.Drain),
+		Shards:        shards,
+		SchemeOptions: sc.schemeOptions(),
+		FaultPlan:     planName,
+		FaultPlanHash: planHash,
+		Revision:      obs.RepoRevision(),
+		Config:        config,
+		WallMS:        wallMS,
+		Events:        res.Events,
+		EventsPerSec:  eps,
+		Profile:       res.Profile,
+	}
 }

@@ -1,0 +1,408 @@
+package harness
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"flexpass/internal/faults"
+	"flexpass/internal/live"
+	"flexpass/internal/metrics"
+	"flexpass/internal/netem"
+	"flexpass/internal/obs"
+	"flexpass/internal/prof"
+	"flexpass/internal/sim"
+	"flexpass/internal/sim/shard"
+	"flexpass/internal/topo"
+	"flexpass/internal/trace"
+	"flexpass/internal/transport"
+)
+
+// runSharded executes the scenario on the parallel engine: the Clos is
+// partitioned by pod blocks (podShard, from topo.ClosPodShards), each
+// partition runs its own engine on its own goroutine, and the shards
+// synchronize conservatively on the agg↔core propagation delay (see
+// internal/sim/shard). Everything a shard touches during the run —
+// engine, RNG stream, scheme instances, stats registry, trace ring,
+// profiler, packet pool — is per-shard state merged after the fabric
+// drains, so the hot path takes no locks.
+//
+// Results are deterministic for a fixed (scenario, shard count) but not
+// bit-identical across shard counts: each shard draws from its own PCG
+// stream, so anything randomized (pacer jitter, fault loss) diverges
+// from the single-engine run. Schemes that never draw randomness on a
+// clean run (dctcp, homa, phost) produce identical flow results at any
+// shard count; see TestShardedMatchesSingleEngine.
+func runSharded(sc Scenario, podShard []int) *Result {
+	if sc.Forensics != nil {
+		panic("harness: forensics requires the single-engine path (Shards must be 0 or 1)")
+	}
+	nShards := topo.Shards(podShard)
+
+	tel := sc.Telemetry
+	if sc.Live != nil && tel == nil {
+		tel = &obs.Options{}
+	}
+
+	// Per-shard planes. Engine i's RNG is an independent PCG stream
+	// derived from (seed, i), so shard RNG use never depends on what
+	// other shards consumed.
+	engs := make([]*sim.Engine, nShards)
+	profilers := make([]*prof.Profiler, nShards)
+	regs := make([]*obs.Registry, nShards)
+	rings := make([]*trace.Ring, nShards)
+	for i := range engs {
+		engs[i] = sim.NewShardEngine(sc.Seed, i)
+		if sc.Profile {
+			profilers[i] = prof.New()
+			profilers[i].Attach(engs[i])
+		}
+		if tel != nil {
+			regs[i] = obs.NewRegistry()
+			if tel.TraceCap > 0 {
+				rings[i] = trace.NewRing(engs[i], tel.TraceCap)
+			}
+		}
+	}
+
+	plan := planWorkload(sc)
+
+	// One scheme env — and therefore one set of scheme instances and
+	// counter sets — per shard. Every env sees the same oracle weight and
+	// options; only the engine/registry/ring differ.
+	spec := sc.Spec
+	spec.WQ = sc.WQ
+	legacySch := make([]transport.SplitScheme, nShards)
+	activeSch := make([]transport.SplitScheme, nShards)
+	for s := range engs {
+		env := &transport.SchemeEnv{
+			Eng:      engs[s],
+			LinkRate: sc.LinkRate,
+			WQ:       sc.WQ,
+			OracleWQ: plan.oracleWQ,
+			Spec:     spec,
+			Registry: regs[s],
+			Trace:    rings[s],
+			Options:  sc.schemeOptions(),
+		}
+		legacySch[s] = asSplit(transport.SchemeDCTCP, mustScheme(transport.SchemeDCTCP, env))
+		activeSch[s] = asSplit(string(sc.Scheme), mustScheme(string(sc.Scheme), env))
+	}
+
+	fab := topo.ClosSharded(engs, podShard, sc.Clos, topo.Params{
+		LinkRate:  sc.LinkRate,
+		LinkDelay: sc.LinkDelay,
+		HostDelay: sc.HostDelay,
+		SwitchBuf: sc.SwitchBuf,
+		BufAlpha:  sc.BufAlpha,
+		Profile:   activeSch[0].Profile(),
+	})
+	if sc.PoolPackets {
+		// Free lists are single-goroutine state: one pool per shard,
+		// nodes assigned by partition. Packets migrate between pools at
+		// shard cuts (put always runs on the receiving shard).
+		pools := make([]*netem.PacketPool, nShards)
+		for i := range pools {
+			pools[i] = &netem.PacketPool{}
+		}
+		for i, sw := range fab.Net.Switches {
+			sw.SetPool(pools[fab.SwitchShard[i]])
+		}
+		for i, h := range fab.Net.Hosts {
+			h.SetPool(pools[fab.HostShard[i]])
+		}
+	}
+
+	// The conservative lookahead is the minimum propagation delay across
+	// the cut: a packet serialized on one shard cannot arrive on another
+	// sooner than that, so each shard may run that far past its
+	// neighbors' horizons.
+	lookahead := sim.Time(0)
+	for _, cl := range fab.Cross {
+		if lookahead == 0 || cl.Port.Prop() < lookahead {
+			lookahead = cl.Port.Prop()
+		}
+	}
+	rt := shard.New(engs, lookahead)
+	for _, cl := range fab.Cross {
+		edge := rt.Connect(cl.From, cl.To)
+		dst := cl.Port.Peer()
+		cl.Port.SetRemote(func(at sim.Time, pkt *netem.Packet) {
+			edge.Deliver(at, pkt, dst)
+		})
+	}
+
+	// Agents and per-node telemetry live with their shard.
+	agents := make([]*transport.Agent, plan.hosts)
+	strays := make([]*obs.Counter, nShards)
+	for s := range strays {
+		if regs[s] != nil {
+			strays[s] = regs[s].Counter("transport/agent", "stray_packets")
+		}
+	}
+	for i := range agents {
+		s := fab.HostShard[i]
+		agents[i] = transport.NewAgent(engs[s], fab.Net.Host(i))
+		agents[i].ObserveStrays(strays[s])
+	}
+	if tel != nil {
+		for i, sw := range fab.Net.Switches {
+			sw.Register(regs[fab.SwitchShard[i]])
+		}
+		for i, h := range fab.Net.Hosts {
+			h.Register(regs[fab.HostShard[i]])
+		}
+	}
+
+	res := &Result{Scenario: sc, OracleWQ: plan.oracleWQ}
+
+	// Fault plans schedule on each matched port's own engine (see
+	// faults.Apply); the action-count bridge registers on shard 0.
+	if sc.FaultPlan != nil {
+		applied, err := faults.Apply(sc.FaultPlan, engs[0], fab.Net)
+		if err != nil {
+			panic(fmt.Sprintf("harness: %v", err))
+		}
+		applied.Register(regs[0])
+		res.Faults = applied
+	}
+
+	// Flows are prebuilt in spec order — the same order the
+	// single-engine path appends them in (arrival events dispatch in
+	// (time, seq) order, and workload.Merge sorts specs by time) — so
+	// Result.Flows rows line up across paths. A flow whose endpoints
+	// share a shard starts exactly like the single-engine path; a
+	// cross-shard flow starts its two halves at the same instant on the
+	// two engines that own them.
+	var flowsStarted, flowsDone atomic.Int64
+	onDone := func(*transport.Flow) { flowsDone.Add(1) }
+	all := make([]*transport.Flow, 0, len(plan.flows))
+	incastOf := make(map[uint64]bool)
+	compLegacy := make([]sim.Component, nShards)
+	compActive := make([]sim.Component, nShards)
+	prevComp := make([]sim.Component, nShards)
+	for s := range engs {
+		compLegacy[s] = engs[s].Component("transport/" + transport.SchemeDCTCP)
+		compActive[s] = compLegacy[s]
+		if string(sc.Scheme) != transport.SchemeDCTCP {
+			compActive[s] = engs[s].Component("transport/" + string(sc.Scheme))
+		}
+		prevComp[s] = engs[s].SetComponent(engs[s].Component("harness/arrival"))
+	}
+	for i, fs := range plan.flows {
+		fl := &transport.Flow{
+			ID:    uint64(i + 1),
+			Src:   agents[fs.Src],
+			Dst:   agents[fs.Dst],
+			Size:  fs.Size,
+			Start: fs.At,
+		}
+		if sc.Live != nil {
+			fl.OnComplete = onDone
+		}
+		all = append(all, fl)
+		if fs.Incast {
+			incastOf[fl.ID] = true
+		}
+		schemes, comp := activeSch, compActive
+		if !plan.upgraded(fs) {
+			schemes, comp = legacySch, compLegacy
+		}
+		srcS, dstS := fab.HostShard[fs.Src], fab.HostShard[fs.Dst]
+		if srcS == dstS {
+			sch := schemes[srcS]
+			engs[srcS].At(fs.At, func() {
+				prev := engs[srcS].SetComponent(comp[srcS])
+				sch.Start(fl)
+				engs[srcS].SetComponent(prev)
+				flowsStarted.Add(1)
+			})
+			continue
+		}
+		snd, rcv := schemes[srcS], schemes[dstS]
+		engs[srcS].At(fs.At, func() {
+			prev := engs[srcS].SetComponent(comp[srcS])
+			snd.StartSender(fl)
+			engs[srcS].SetComponent(prev)
+			flowsStarted.Add(1)
+		})
+		engs[dstS].At(fs.At, func() {
+			prev := engs[dstS].SetComponent(comp[dstS])
+			rcv.StartReceiver(fl)
+			engs[dstS].SetComponent(prev)
+		})
+	}
+	for s := range engs {
+		engs[s].SetComponent(prevComp[s])
+	}
+
+	probers := make([]*obs.Prober, nShards)
+	for s := range engs {
+		probers[s] = obs.NewProber(engs[s], regs[s], tel)
+		probers[s].Start()
+	}
+
+	// Q1 occupancy without telemetry: one ad-hoc sampler per shard, each
+	// tracking the ToR uplinks its engine owns.
+	var qss []*metrics.QueueSampler
+	if sc.SampleQueues && probers[0] == nil {
+		shardOfEng := make(map[*sim.Engine]int, nShards)
+		for s, e := range engs {
+			shardOfEng[e] = s
+		}
+		qss = make([]*metrics.QueueSampler, nShards)
+		for s := range engs {
+			qss[s] = metrics.NewQueueSampler(engs[s], 100*sim.Microsecond)
+		}
+		idx := fab.FlexQueueIndex
+		for _, up := range fab.TorUplinks {
+			up := up
+			qss[shardOfEng[up.Engine()]].Track(func() (int64, int64) { return up.QueueBytes(idx) })
+		}
+		for _, qs := range qss {
+			qs.Start()
+		}
+	}
+
+	// Live introspection publishes from a wall-clock goroutine — there
+	// is no single engine clock to hook — reporting the fleet-minimum
+	// sim time (the conservative horizon every shard has reached) and
+	// the summed event count. Registry readings ride only on the final
+	// publish: the per-shard registries are plain ints owned by their
+	// goroutines while the run executes.
+	wallStart := time.Now()
+	var stopLive chan struct{}
+	var publishLive func(done bool, readings []obs.Reading)
+	if sc.Live != nil {
+		board := sc.Live
+		end := sc.Duration + sc.Drain
+		total := len(plan.flows)
+		publishLive = func(done bool, readings []obs.Reading) {
+			st := live.RunStatus{
+				SimNowPs:     rt.HorizonPs(),
+				SimEndPs:     int64(end),
+				Events:       rt.EventsProcessed(),
+				FlowsTotal:   total,
+				FlowsStarted: int(flowsStarted.Load()),
+				FlowsDone:    int(flowsDone.Load()),
+				WallMS:       float64(time.Since(wallStart)) / float64(time.Millisecond),
+				Done:         done,
+			}
+			if secs := time.Since(wallStart).Seconds(); secs > 0 {
+				st.EventsPerSec = float64(st.Events) / secs
+			}
+			board.Publish(st, readings)
+		}
+		stopLive = make(chan struct{})
+		go func() {
+			tick := time.NewTicker(50 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopLive:
+					return
+				case <-tick.C:
+					publishLive(false, nil)
+				}
+			}
+		}()
+	}
+
+	rt.Run(sc.Duration + sc.Drain)
+	res.WallClock = time.Since(wallStart)
+	if stopLive != nil {
+		close(stopLive)
+	}
+	if publishLive != nil {
+		publishLive(true, mergeReadings(regs))
+	}
+
+	for _, fl := range all {
+		res.Flows.Add(metrics.Snapshot(fl, incastOf[fl.ID]))
+	}
+	if qss != nil {
+		var totals, reds []int64
+		for _, qs := range qss {
+			totals = append(totals, qs.Totals...)
+			reds = append(reds, qs.Reds...)
+		}
+		res.QueueAvg, res.QueueP90 = metrics.Stats(totals, 0.9)
+		res.QueueRedAvg, res.QueueRedP90 = metrics.Stats(reds, 0.9)
+	} else if sc.SampleQueues {
+		var totals, reds []int64
+		idx := fab.FlexQueueIndex
+		for _, up := range fab.TorUplinks {
+			ent := fmt.Sprintf("port/%s/q%d", up.Name(), idx)
+			for _, p := range probers {
+				if s := p.Find(ent, "bytes"); s != nil {
+					totals = append(totals, s.Values()...)
+				}
+				if s := p.Find(ent, "red_bytes"); s != nil {
+					reds = append(reds, s.Values()...)
+				}
+			}
+		}
+		res.QueueAvg, res.QueueP90 = metrics.Stats(totals, 0.9)
+		res.QueueRedAvg, res.QueueRedP90 = metrics.Stats(reds, 0.9)
+	}
+	countFabricDrops(fab, res)
+	res.Events = rt.EventsProcessed()
+	if rings[0] != nil {
+		res.Trace = trace.Merge(rings...)
+	}
+	if sc.Profile {
+		exports := make([][]obs.ComponentProfile, nShards)
+		for s, p := range profilers {
+			exports[s] = p.Export()
+		}
+		res.Profile = prof.MergeExports(exports...)
+	}
+
+	if regs[0] != nil {
+		perShard := make([]*obs.Run, nShards)
+		for s := range regs {
+			perShard[s] = obs.Collect(regs[s], probers[s], obs.Manifest{})
+		}
+		m := buildManifest(sc, plan.hosts, probers[0].Interval(), res, nShards)
+		res.Telemetry = obs.MergeRuns(m, perShard...)
+		res.Telemetry.AttachTrace(res.Trace)
+		res.Telemetry.Faults = res.Faults.Export()
+	}
+	return res
+}
+
+// asSplit asserts that a built scheme supports split starts — every
+// built-in does; a registered third-party scheme that doesn't cannot run
+// sharded.
+func asSplit(name string, s transport.Scheme) transport.SplitScheme {
+	sp, ok := s.(transport.SplitScheme)
+	if !ok {
+		panic(fmt.Sprintf("harness: scheme %q does not implement transport.SplitScheme; run with Shards <= 1", name))
+	}
+	return sp
+}
+
+// mergeReadings folds per-shard registry finals into one reading set,
+// summing values that share (entity, metric, kind). Finals are sorted,
+// so the merged order is deterministic. Only called after the shard
+// goroutines have stopped.
+func mergeReadings(regs []*obs.Registry) []obs.Reading {
+	type key struct {
+		entity, metric string
+		kind           obs.SampleKind
+	}
+	idx := map[key]int{}
+	var out []obs.Reading
+	for _, reg := range regs {
+		for _, r := range reg.Final() {
+			k := key{r.Entity, r.Metric, r.Kind}
+			if j, ok := idx[k]; ok {
+				out[j].Value += r.Value
+				continue
+			}
+			idx[k] = len(out)
+			out = append(out, r)
+		}
+	}
+	return out
+}

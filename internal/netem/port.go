@@ -104,6 +104,12 @@ type Port struct {
 
 	hop HopObserver // optional read-only packet-event observer
 
+	// remote, when set, replaces the local propagation pipeline: packets
+	// leaving the serializer are handed to it (with their arrival time)
+	// instead of being scheduled on this engine — the cut point sharded
+	// runs use for wires whose peer lives on another shard's engine.
+	remote func(at sim.Time, pkt *Packet)
+
 	stats PortStats
 }
 
@@ -156,6 +162,10 @@ func NewPort(eng *sim.Engine, name string, rate units.Rate, prop sim.Time, cfg P
 
 // deliverAt queues a packet for arrival at the peer at time t.
 func (p *Port) deliverAt(t sim.Time, pkt *Packet) {
+	if p.remote != nil {
+		p.remote(t, pkt)
+		return
+	}
 	p.pipe = append(p.pipe, pipeEntry{at: t, pkt: pkt})
 	if len(p.pipe)-p.pipeHead == 1 {
 		prev := p.eng.SetComponent(p.compDeliver)
@@ -190,6 +200,22 @@ func (p *Port) deliverHead() {
 
 // Connect attaches the receiving peer. Must be called before any Send.
 func (p *Port) Connect(peer Node) { p.peer = peer }
+
+// SetRemote diverts this port's propagation stage to fn: serialized
+// packets are handed to fn with their arrival time instead of being
+// delivered to the peer on this engine. Sharded runs install the
+// cross-shard edge hand-off here for wires that cross a partition cut;
+// nil restores local delivery. The serializer (txDone, pacing wakes)
+// stays on this port's own engine either way.
+func (p *Port) SetRemote(fn func(at sim.Time, pkt *Packet)) { p.remote = fn }
+
+// Engine returns the engine this port schedules on (the owning node's
+// shard engine in sharded runs).
+func (p *Port) Engine() *sim.Engine { return p.eng }
+
+// Prop returns the link's one-way propagation delay (the lookahead
+// contribution of a cross-shard wire).
+func (p *Port) Prop() sim.Time { return p.prop }
 
 // Peer returns the node this port delivers to (nil before Connect). The
 // fault layer uses it to resolve "the egress toward host X" by topology

@@ -33,6 +33,11 @@ type Manifest struct {
 	Deployment float64 `json:"deployment,omitempty"`
 	WQ         float64 `json:"wq,omitempty"`
 	DurationPs int64   `json:"duration_ps"`
+	// Shards is the parallel-engine partition count the run executed
+	// with; omitted (reads back 0) for single-engine runs and for v1–v3
+	// artifacts written before sharding existed, both of which mean one
+	// engine.
+	Shards int `json:"shards,omitempty"`
 	// SchemeOptions is the resolved per-scheme option map the run used
 	// (typed scenario knobs already folded in) — part of the scenario
 	// identity, unlike the free-form Config below.

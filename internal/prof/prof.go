@@ -144,26 +144,32 @@ func (p *Profiler) WriteFolded(w io.Writer) error {
 	if p == nil || p.eng == nil {
 		return nil
 	}
-	comps := p.components()
-	sort.Slice(comps, func(i, j int) bool {
-		a, b := &p.stats[comps[i]], &p.stats[comps[j]]
-		if a.Wall != b.Wall {
-			return a.Wall > b.Wall
-		}
-		return comps[i] < comps[j]
-	})
-	names := p.eng.ComponentNames()
-	for _, c := range comps {
-		s := &p.stats[c]
-		us := s.Wall.Microseconds()
+	return WriteFoldedProfile(w, p.Export())
+}
+
+// WriteFoldedProfile is WriteFolded over an exported (possibly merged)
+// profile, for sharded runs with no single live Profiler.
+func WriteFoldedProfile(w io.Writer, profile []obs.ComponentProfile) error {
+	profile = sortedByWall(profile)
+	for i := range profile {
+		cp := &profile[i]
+		us := cp.WallNs / 1e3
 		if us < 1 {
 			us = 1
 		}
-		if _, err := fmt.Fprintf(w, "engine;%s %d\n", names[c], us); err != nil {
+		if _, err := fmt.Fprintf(w, "engine;%s %d\n", cp.Component, us); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// sortedByWall orders a profile by descending wall time, ties keeping the
+// export's registration order.
+func sortedByWall(profile []obs.ComponentProfile) []obs.ComponentProfile {
+	out := append([]obs.ComponentProfile(nil), profile...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].WallNs > out[j].WallNs })
+	return out
 }
 
 // WriteTable renders a human-readable summary sorted by descending wall
@@ -172,40 +178,96 @@ func (p *Profiler) WriteTable(w io.Writer) error {
 	if p == nil || p.eng == nil {
 		return nil
 	}
-	comps := p.components()
-	sort.Slice(comps, func(i, j int) bool {
-		a, b := &p.stats[comps[i]], &p.stats[comps[j]]
-		if a.Wall != b.Wall {
-			return a.Wall > b.Wall
-		}
-		return comps[i] < comps[j]
-	})
-	names := p.eng.ComponentNames()
+	return WriteTableProfile(w, p.Export())
+}
+
+// WriteTableProfile is WriteTable over an exported (possibly merged)
+// profile.
+func WriteTableProfile(w io.Writer, profile []obs.ComponentProfile) error {
+	profile = sortedByWall(profile)
 	var totalWall time.Duration
 	var totalEvents uint64
-	for _, c := range comps {
-		totalWall += p.stats[c].Wall
-		totalEvents += p.stats[c].Events
+	for i := range profile {
+		totalWall += time.Duration(profile[i].WallNs)
+		totalEvents += profile[i].Events
 	}
 	if _, err := fmt.Fprintf(w, "%-24s %12s %12s %10s %10s %6s\n",
 		"COMPONENT", "EVENTS", "WALL", "MEAN", "MAX", "%"); err != nil {
 		return err
 	}
-	for _, c := range comps {
-		s := &p.stats[c]
+	for i := range profile {
+		cp := &profile[i]
+		wall := time.Duration(cp.WallNs)
 		mean := time.Duration(0)
-		if s.Events > 0 {
-			mean = s.Wall / time.Duration(s.Events)
+		if cp.Events > 0 {
+			mean = wall / time.Duration(cp.Events)
 		}
 		pct := 0.0
 		if totalWall > 0 {
-			pct = 100 * float64(s.Wall) / float64(totalWall)
+			pct = 100 * float64(wall) / float64(totalWall)
 		}
 		if _, err := fmt.Fprintf(w, "%-24s %12d %12s %10s %10s %5.1f%%\n",
-			names[c], s.Events, s.Wall.Round(time.Microsecond), mean, s.Max, pct); err != nil {
+			cp.Component, cp.Events, wall.Round(time.Microsecond), mean, time.Duration(cp.MaxNs), pct); err != nil {
 			return err
 		}
 	}
 	_, err := fmt.Fprintf(w, "%-24s %12d %12s\n", "total", totalEvents, totalWall.Round(time.Microsecond))
 	return err
+}
+
+// MergeExports folds several exported profiles (one per shard) into one:
+// components are matched by name in first-seen order, events and wall
+// time summed, worst dispatch maxed, and histogram buckets merged by
+// bound. Sharded runs merge per-shard exports with this because one
+// Profiler cannot observe several engines.
+func MergeExports(exports ...[]obs.ComponentProfile) []obs.ComponentProfile {
+	index := map[string]int{}
+	var out []obs.ComponentProfile
+	for _, exp := range exports {
+		for i := range exp {
+			cp := &exp[i]
+			j, ok := index[cp.Component]
+			if !ok {
+				index[cp.Component] = len(out)
+				out = append(out, obs.ComponentProfile{
+					Component: cp.Component,
+					Events:    cp.Events,
+					WallNs:    cp.WallNs,
+					MaxNs:     cp.MaxNs,
+					Le:        append([]int64(nil), cp.Le...),
+					Counts:    append([]int64(nil), cp.Counts...),
+				})
+				continue
+			}
+			dst := &out[j]
+			dst.Events += cp.Events
+			dst.WallNs += cp.WallNs
+			if cp.MaxNs > dst.MaxNs {
+				dst.MaxNs = cp.MaxNs
+			}
+			dst.Le, dst.Counts = mergeBuckets(dst.Le, dst.Counts, cp.Le, cp.Counts)
+		}
+	}
+	return out
+}
+
+// mergeBuckets merges two sparse (bound, count) histogram lists, both
+// sorted by ascending bound.
+func mergeBuckets(le, counts, le2, counts2 []int64) ([]int64, []int64) {
+	var mle, mcounts []int64
+	i, j := 0, 0
+	for i < len(le) || j < len(le2) {
+		switch {
+		case j >= len(le2) || (i < len(le) && le[i] < le2[j]):
+			mle, mcounts = append(mle, le[i]), append(mcounts, counts[i])
+			i++
+		case i >= len(le) || le2[j] < le[i]:
+			mle, mcounts = append(mle, le2[j]), append(mcounts, counts2[j])
+			j++
+		default:
+			mle, mcounts = append(mle, le[i]), append(mcounts, counts[i]+counts2[j])
+			i, j = i+1, j+1
+		}
+	}
+	return mle, mcounts
 }

@@ -1,0 +1,331 @@
+// Package shard runs several sim.Engines in parallel under a
+// conservative-lookahead synchronization protocol (the SimBricks/null
+// message family), so one fabric can be partitioned across cores without
+// giving up determinism.
+//
+// The fabric is cut only at wires with a fixed propagation delay. With
+// L = min propagation delay over all cross-shard wires (the lookahead),
+// a packet handed to a cross-shard wire at local time t arrives at the
+// peer strictly after t+L (serialization time is always positive). Time
+// is therefore divided into windows of length L and every shard runs the
+// same round schedule: in round r it first receives exactly one batch
+// per incoming edge (the batches its neighbors produced in round r-1 —
+// an empty batch is the null message that lets the receiver advance),
+// then executes its engine up to W_r = min((r+1)·L, until), then flushes
+// one batch per outgoing edge. Any item generated in round r-1 has
+// arrival time > r·L, so it can only be needed by round r or later:
+// every shard always holds all remote input for the window it is about
+// to run, and no shard ever waits on speculation or rollback.
+//
+// Determinism contract: for a fixed (seed, shard count) pair the run is
+// bit-for-bit reproducible. Incoming items are merged in the total order
+// (arrival time, source shard, per-edge sequence) and injected into the
+// engine ahead of the window in that order, so same-instant arrivals
+// from different shards always tie-break identically; per-shard RNG
+// streams (sim.NewShardEngine) keep random draws independent of the
+// goroutine interleaving. Cross-shard tie-breaking necessarily differs
+// from the single-engine global (time, seq) order, so digests are
+// comparable per shard count, not across shard counts — except for
+// runs whose event timestamps never collide at a boundary, where the
+// sharded schedule is exactly the sequential one.
+package shard
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"flexpass/internal/netem"
+	"flexpass/internal/sim"
+)
+
+// Item is one timestamped cross-shard delivery: pkt arrives at dst (a
+// node owned by the destination shard) at time At.
+type Item struct {
+	At  sim.Time
+	Pkt *netem.Packet
+	Dst netem.Node
+
+	from int    // source shard (merge tie-break)
+	seq  uint64 // per-edge send order (merge tie-break)
+}
+
+// Edge is the SPSC hand-off for one directed shard pair: the source
+// shard's goroutine appends items during its window and flushes them as
+// one batch per round; the destination shard's goroutine receives them
+// at its next round boundary.
+type Edge struct {
+	from, to int
+	ch       chan []Item
+	buf      []Item
+	seq      uint64
+}
+
+// Deliver queues a cross-shard arrival on this edge. It must be called
+// from the source shard's goroutine (netem ports do, via Port.SetRemote,
+// while their engine runs a window).
+func (e *Edge) Deliver(at sim.Time, pkt *netem.Packet, dst netem.Node) {
+	e.buf = append(e.buf, Item{At: at, Pkt: pkt, Dst: dst, from: e.from, seq: e.seq})
+	e.seq++
+}
+
+// Shard is one partition: an engine plus its incoming and outgoing
+// edges. All scheduling into the engine before Run and all reads after
+// Run happen from the coordinating goroutine; during Run only the
+// shard's own goroutine touches it.
+type Shard struct {
+	id  int
+	eng *sim.Engine
+	rt  *Runtime
+	in  []*Edge // sorted by source shard id
+	out []*Edge // sorted by destination shard id
+
+	pending []Item // received items beyond the current horizon
+	injQ    []Item // FIFO of items scheduled into the engine
+	injHead int
+	injFn   func()
+	comp    sim.Component
+}
+
+// Engine returns the shard's engine.
+func (s *Shard) Engine() *sim.Engine { return s.eng }
+
+// counters is one shard's progress cell, padded to its own cache line so
+// the wall-clock status reader never bounces the workers' lines.
+type counters struct {
+	horizon atomic.Int64
+	events  atomic.Uint64
+	_       [48]byte
+}
+
+// Runtime coordinates one sharded run.
+type Runtime struct {
+	shards    []*Shard
+	lookahead sim.Time
+	edges     map[[2]int]*Edge
+	cells     []counters
+
+	failed   chan struct{}
+	failOnce sync.Once
+	panicMsg string
+}
+
+// New builds a runtime over the given per-shard engines. lookahead must
+// be positive and no larger than the minimum propagation delay of any
+// edge later connected — the causality guard in inject panics if that is
+// violated at run time.
+func New(engs []*sim.Engine, lookahead sim.Time) *Runtime {
+	if len(engs) == 0 {
+		panic("shard: no engines")
+	}
+	if lookahead <= 0 {
+		panic("shard: non-positive lookahead")
+	}
+	rt := &Runtime{
+		lookahead: lookahead,
+		edges:     make(map[[2]int]*Edge),
+		cells:     make([]counters, len(engs)),
+		failed:    make(chan struct{}),
+	}
+	for i, eng := range engs {
+		s := &Shard{id: i, eng: eng, rt: rt, comp: eng.Component("shard/inject")}
+		s.injFn = s.injectNext
+		rt.shards = append(rt.shards, s)
+	}
+	return rt
+}
+
+// Shards returns the shard count.
+func (rt *Runtime) Shards() int { return len(rt.shards) }
+
+// Shard returns shard i.
+func (rt *Runtime) Shard(i int) *Shard { return rt.shards[i] }
+
+// Lookahead returns the synchronization window length.
+func (rt *Runtime) Lookahead() sim.Time { return rt.lookahead }
+
+// Connect returns the directed edge from shard `from` to shard `to`,
+// creating it on first use. All wires between the same shard pair share
+// one edge (their deliveries are already ordered by the source engine).
+func (rt *Runtime) Connect(from, to int) *Edge {
+	if from == to {
+		panic("shard: self edge")
+	}
+	key := [2]int{from, to}
+	if e := rt.edges[key]; e != nil {
+		return e
+	}
+	// Capacity 2: one batch in flight plus one being produced, so a
+	// fast sender runs a full window ahead before blocking.
+	e := &Edge{from: from, to: to, ch: make(chan []Item, 2)}
+	rt.edges[key] = e
+	src, dst := rt.shards[from], rt.shards[to]
+	src.out = append(src.out, e)
+	sort.Slice(src.out, func(i, j int) bool { return src.out[i].to < src.out[j].to })
+	dst.in = append(dst.in, e)
+	sort.Slice(dst.in, func(i, j int) bool { return dst.in[i].from < dst.in[j].from })
+	return e
+}
+
+// HorizonPs returns the fleet-minimum committed simulated time in
+// picoseconds — the conservative horizon every shard has fully executed.
+// Safe to call from any goroutine while Run executes (live /status).
+func (rt *Runtime) HorizonPs() int64 {
+	min := rt.cells[0].horizon.Load()
+	for i := range rt.cells[1:] {
+		if h := rt.cells[i+1].horizon.Load(); h < min {
+			min = h
+		}
+	}
+	return min
+}
+
+// EventsProcessed sums events dispatched across all shards as of each
+// shard's last committed window. Safe concurrently with Run.
+func (rt *Runtime) EventsProcessed() uint64 {
+	var n uint64
+	for i := range rt.cells {
+		n += rt.cells[i].events.Load()
+	}
+	return n
+}
+
+// fail records the first shard panic and releases every blocked peer.
+func (rt *Runtime) fail(v any) {
+	rt.failOnce.Do(func() {
+		rt.panicMsg = fmt.Sprintf("shard: worker panic: %v\n%s", v, debug.Stack())
+		close(rt.failed)
+	})
+}
+
+// Run executes every shard concurrently up to and including `until`,
+// then leaves each engine at now == until. A panic in any shard tears
+// the round protocol down and is re-raised here with the worker stack.
+func (rt *Runtime) Run(until sim.Time) {
+	rounds := 0
+	if until > 0 {
+		rounds = int((until + rt.lookahead - 1) / rt.lookahead)
+	}
+	var wg sync.WaitGroup
+	for _, s := range rt.shards {
+		wg.Add(1)
+		go func(s *Shard) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					rt.fail(r)
+				}
+			}()
+			s.run(until, rounds)
+		}(s)
+	}
+	wg.Wait()
+	if rt.panicMsg != "" {
+		panic(rt.panicMsg)
+	}
+}
+
+// run is one shard's round loop. See the package comment for why
+// receiving the round r-1 batches suffices to execute window r.
+func (s *Shard) run(until sim.Time, rounds int) {
+	for r := 0; r < rounds; r++ {
+		if r > 0 {
+			grew := false
+			for _, e := range s.in {
+				var batch []Item
+				select {
+				case batch = <-e.ch:
+				case <-s.rt.failed:
+					return
+				}
+				if len(batch) > 0 {
+					s.pending = append(s.pending, batch...)
+					grew = true
+				}
+			}
+			if grew {
+				// Total deterministic merge order: arrival time, then
+				// source shard, then per-edge send sequence.
+				sort.Slice(s.pending, func(i, j int) bool {
+					a, b := &s.pending[i], &s.pending[j]
+					if a.At != b.At {
+						return a.At < b.At
+					}
+					if a.from != b.from {
+						return a.from < b.from
+					}
+					return a.seq < b.seq
+				})
+			}
+		}
+		w := sim.Time(r+1) * s.rt.lookahead
+		if w > until {
+			w = until
+		}
+		s.inject(w)
+		s.eng.Run(w)
+		cell := &s.rt.cells[s.id]
+		cell.horizon.Store(int64(w))
+		cell.events.Store(s.eng.Processed)
+		for _, e := range s.out {
+			batch := e.buf
+			e.buf = nil
+			select {
+			case e.ch <- batch:
+			case <-s.rt.failed:
+				return
+			}
+		}
+	}
+	// Zero-round runs (until == 0) still publish a horizon.
+	if rounds == 0 {
+		s.eng.Run(until)
+		cell := &s.rt.cells[s.id]
+		cell.horizon.Store(int64(until))
+		cell.events.Store(s.eng.Processed)
+	}
+}
+
+// inject schedules every pending item with arrival ≤ w into the engine,
+// in merge order. The engine dispatches same-instant events in schedule
+// order, so a FIFO queue drained by one pre-bound callback reproduces
+// the merge order exactly with no per-item closure.
+func (s *Shard) inject(w sim.Time) {
+	n := 0
+	for n < len(s.pending) && s.pending[n].At <= w {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	prev := s.eng.SetComponent(s.comp)
+	for i := 0; i < n; i++ {
+		it := s.pending[i]
+		if it.At <= s.eng.Now() {
+			panic(fmt.Sprintf("shard %d: causality violation: item for t=%v at now=%v (lookahead %v exceeds a cross-shard propagation delay)",
+				s.id, it.At, s.eng.Now(), s.rt.lookahead))
+		}
+		s.injQ = append(s.injQ, it)
+		s.eng.At(it.At, s.injFn)
+	}
+	s.eng.SetComponent(prev)
+	rem := copy(s.pending, s.pending[n:])
+	for i := rem; i < len(s.pending); i++ {
+		s.pending[i] = Item{}
+	}
+	s.pending = s.pending[:rem]
+}
+
+// injectNext delivers the FIFO head into the destination node.
+func (s *Shard) injectNext() {
+	it := s.injQ[s.injHead]
+	s.injQ[s.injHead] = Item{}
+	s.injHead++
+	if s.injHead == len(s.injQ) {
+		s.injQ = s.injQ[:0]
+		s.injHead = 0
+	}
+	it.Dst.Receive(it.Pkt)
+}

@@ -29,6 +29,14 @@ type Params struct {
 	HostBufCap bool           // if true, host NICs also use a shared buffer of SwitchBuf
 }
 
+// CrossLink is one egress port whose propagation crosses a shard cut in
+// a sharded build: the owning (From) shard serializes, the peer lives on
+// the To shard. The harness installs the cross-shard hand-off on these.
+type CrossLink struct {
+	Port     *netem.Port
+	From, To int
+}
+
 // Fabric is a built topology.
 type Fabric struct {
 	Net    *netem.Network
@@ -45,14 +53,25 @@ type Fabric struct {
 	// FlexQueueIndex is the queue index carrying FlexPass data in the
 	// active profile (for occupancy sampling); -1 when not applicable.
 	FlexQueueIndex int
+
+	// Partition metadata for sharded builds (Shards == 1 on single-engine
+	// fabrics; the slices are then nil). HostShard and SwitchShard follow
+	// the network's host/switch registration order; Cross lists every
+	// egress port whose wire crosses a shard cut.
+	Shards      int
+	HostShard   []int
+	SwitchShard []int
+	Cross       []CrossLink
 }
 
 // link creates the two directed ports of a full-duplex link between nodes a
-// and b and wires routing-free delivery (the caller adds routes).
-func link(eng *sim.Engine, name string, a, b netem.Node, rate units.Rate, delay sim.Time, prof PortProfile, sharedA, sharedB *netem.SharedBuffer) (ab, ba *netem.Port) {
-	ab = netem.NewPort(eng, name+":fwd", rate, delay, prof(rate), sharedA)
+// and b and wires routing-free delivery (the caller adds routes). Each
+// directed port schedules on its owning node's engine: engA drives a→b,
+// engB drives b→a — identical when the link stays inside one shard.
+func link(engA, engB *sim.Engine, name string, a, b netem.Node, rate units.Rate, delay sim.Time, prof PortProfile, sharedA, sharedB *netem.SharedBuffer) (ab, ba *netem.Port) {
+	ab = netem.NewPort(engA, name+":fwd", rate, delay, prof(rate), sharedA)
 	ab.Connect(b)
-	ba = netem.NewPort(eng, name+":rev", rate, delay, prof(rate), sharedB)
+	ba = netem.NewPort(engB, name+":rev", rate, delay, prof(rate), sharedB)
 	ba.Connect(a)
 	return ab, ba
 }
@@ -87,21 +106,39 @@ func SingleSwitch(eng *sim.Engine, n int, p Params) *Fabric {
 // Dumbbell builds nL senders and nR receivers joined by two switches with a
 // single bottleneck link of rate bottleneck (Fig 1: 10Gbps).
 func Dumbbell(eng *sim.Engine, nL, nR int, bottleneck units.Rate, p Params) *Fabric {
-	net := netem.NewNetwork(eng)
+	return dumbbellFabric(eng, eng, nL, nR, bottleneck, p)
+}
+
+// DumbbellSharded builds the dumbbell split at its natural cut — the
+// bottleneck wire: swL and the left hosts on engL (shard 0), swR and the
+// right hosts on engR (shard 1). The single-switch / N-to-1 testbed has
+// no internal wire to cut and always stays one shard.
+func DumbbellSharded(engL, engR *sim.Engine, nL, nR int, bottleneck units.Rate, p Params) *Fabric {
+	return dumbbellFabric(engL, engR, nL, nR, bottleneck, p)
+}
+
+func dumbbellFabric(engL, engR *sim.Engine, nL, nR int, bottleneck units.Rate, p Params) *Fabric {
+	sharded := engL != engR
+	net := netem.NewNetwork(engL)
 	sharedL := netem.NewSharedBuffer(p.SwitchBuf, p.BufAlpha)
 	sharedR := netem.NewSharedBuffer(p.SwitchBuf, p.BufAlpha)
-	swL := netem.NewSwitch(eng, net.AllocID(), "swL", sharedL)
-	swR := netem.NewSwitch(eng, net.AllocID(), "swR", sharedR)
+	swL := netem.NewSwitch(engL, net.AllocID(), "swL", sharedL)
+	swR := netem.NewSwitch(engR, net.AllocID(), "swR", sharedR)
 	net.AddSwitch(swL)
 	net.AddSwitch(swR)
 
-	lr, rl := link(eng, "core", swL, swR, bottleneck, p.LinkDelay, p.Profile, sharedL, sharedR)
+	lr, rl := link(engL, engR, "core", swL, swR, bottleneck, p.LinkDelay, p.Profile, sharedL, sharedR)
 	swL.AddPort(lr)
 	swR.AddPort(rl)
 
-	f := &Fabric{Net: net, Bottleneck: lr, FlexQueueIndex: 1}
+	f := &Fabric{Net: net, Bottleneck: lr, FlexQueueIndex: 1, Shards: 1}
+	if sharded {
+		f.Shards = 2
+		f.SwitchShard = []int{0, 1}
+		f.Cross = []CrossLink{{Port: lr, From: 0, To: 1}, {Port: rl, From: 1, To: 0}}
+	}
 
-	addHost := func(sw *netem.Switch, shared *netem.SharedBuffer, name string) netem.NodeID {
+	addHost := func(eng *sim.Engine, sw *netem.Switch, shared *netem.SharedBuffer, name string, shard int) netem.NodeID {
 		id := net.AllocID()
 		nic := netem.NewPort(eng, name+":nic", p.LinkRate, p.LinkDelay, p.Profile(p.LinkRate), nil)
 		h := netem.NewHost(eng, id, name, nic, p.HostDelay)
@@ -112,14 +149,17 @@ func Dumbbell(eng *sim.Engine, nL, nR int, bottleneck units.Rate, p Params) *Fab
 		sw.AddPort(down)
 		sw.AddRoute(id, down)
 		f.RackOf = append(f.RackOf, -1)
+		if sharded {
+			f.HostShard = append(f.HostShard, shard)
+		}
 		return id
 	}
 	var left, right []netem.NodeID
 	for i := 0; i < nL; i++ {
-		left = append(left, addHost(swL, sharedL, fmt.Sprintf("l%d", i)))
+		left = append(left, addHost(engL, swL, sharedL, fmt.Sprintf("l%d", i), 0))
 	}
 	for i := 0; i < nR; i++ {
-		right = append(right, addHost(swR, sharedR, fmt.Sprintf("r%d", i)))
+		right = append(right, addHost(engR, swR, sharedR, fmt.Sprintf("r%d", i), 1))
 	}
 	for _, id := range right {
 		swL.AddRoute(id, lr)
@@ -148,57 +188,135 @@ var PaperClos = ClosParams{Pods: 8, AggPerPod: 2, TorPerPod: 4, HostsPerTor: 6, 
 // for tests and benchmarks: 2 core, 4 agg, 8 ToR, 48 hosts.
 var SmallClos = ClosParams{Pods: 4, AggPerPod: 1, TorPerPod: 2, HostsPerTor: 6, Cores: 2}
 
+// BigClos is the sharded-scaling fabric: 8 core, 32 agg, 96 ToR, 768
+// hosts with 4:1 ToR oversubscription (8 down / 2 up) — the ≥768-host
+// Clos the parallel-engine benchmarks run web-search at load 0.8 on.
+var BigClos = ClosParams{Pods: 16, AggPerPod: 2, TorPerPod: 6, HostsPerTor: 8, Cores: 8}
+
 // Hosts returns the host count of the fabric.
 func (c ClosParams) Hosts() int { return c.Pods * c.TorPerPod * c.HostsPerTor }
 
+// ClosPodShards maps each pod to a shard for a sharded Clos build:
+// contiguous, balanced pod blocks, at most one shard per pod (the finest
+// cut keeps every ToR/agg subtree — and its hosts — on one engine; the
+// core switches always ride shard 0). The effective shard count is
+// min(want, Pods); want ≤ 1 yields the all-zeros single-shard plan.
+func ClosPodShards(c ClosParams, want int) []int {
+	if want > c.Pods {
+		want = c.Pods
+	}
+	if want < 1 {
+		want = 1
+	}
+	podShard := make([]int, c.Pods)
+	for pod := range podShard {
+		podShard[pod] = pod * want / c.Pods
+	}
+	return podShard
+}
+
+// Shards returns the shard count a pod→shard plan uses.
+func Shards(podShard []int) int {
+	max := 0
+	for _, s := range podShard {
+		if s > max {
+			max = s
+		}
+	}
+	return max + 1
+}
+
 // Clos builds the 3-tier fabric with ECMP routing and symmetric hashing.
 func Clos(eng *sim.Engine, c ClosParams, p Params) *Fabric {
+	return closFabric([]*sim.Engine{eng}, nil, c, p)
+}
+
+// ClosSharded builds the same fabric as Clos partitioned across the
+// given engines: pod pod's switches, hosts, and ports schedule on
+// engs[podShard[pod]]; the core switches on engs[0]. Construction order,
+// node IDs, port names, and routing are identical to Clos — only the
+// engine each node schedules on differs — and every wire whose endpoints
+// land on different engines is reported in Fabric.Cross for the caller
+// to bridge (netem.Port.SetRemote).
+func ClosSharded(engs []*sim.Engine, podShard []int, c ClosParams, p Params) *Fabric {
+	if len(podShard) != c.Pods {
+		panic("topo: podShard length != Pods")
+	}
+	for _, s := range podShard {
+		if s < 0 || s >= len(engs) {
+			panic("topo: podShard entry out of engine range")
+		}
+	}
+	return closFabric(engs, podShard, c, p)
+}
+
+// closFabric is the shared Clos builder. podShard == nil means the
+// single-engine build (everything on engs[0]).
+func closFabric(engs []*sim.Engine, podShard []int, c ClosParams, p Params) *Fabric {
 	if c.Cores%c.AggPerPod != 0 {
 		panic("topo: Cores must be divisible by AggPerPod")
 	}
 	upPerAgg := c.Cores / c.AggPerPod
+	shardOfPod := func(pod int) int {
+		if podShard == nil {
+			return 0
+		}
+		return podShard[pod]
+	}
+	eng := engs[0] // core tier and the network container
 	net := netem.NewNetwork(eng)
-	f := &Fabric{Net: net, FlexQueueIndex: 1}
+	f := &Fabric{Net: net, FlexQueueIndex: 1, Shards: 1}
+	if podShard != nil {
+		f.Shards = len(engs)
+	}
 
-	newSwitch := func(name string) *netem.Switch {
+	newSwitch := func(e *sim.Engine, name string, shard int) *netem.Switch {
 		sh := netem.NewSharedBuffer(p.SwitchBuf, p.BufAlpha)
-		sw := netem.NewSwitch(eng, net.AllocID(), name, sh)
+		sw := netem.NewSwitch(e, net.AllocID(), name, sh)
 		net.AddSwitch(sw)
+		if podShard != nil {
+			f.SwitchShard = append(f.SwitchShard, shard)
+		}
 		return sw
 	}
 
 	cores := make([]*netem.Switch, c.Cores)
 	for i := range cores {
-		cores[i] = newSwitch(fmt.Sprintf("core%d", i))
+		cores[i] = newSwitch(eng, fmt.Sprintf("core%d", i), 0)
 	}
 	aggs := make([][]*netem.Switch, c.Pods) // [pod][a]
 	tors := make([][]*netem.Switch, c.Pods) // [pod][t]
 	hostIDs := make([][][]netem.NodeID, c.Pods)
 	for pod := 0; pod < c.Pods; pod++ {
+		podEng := engs[shardOfPod(pod)]
 		aggs[pod] = make([]*netem.Switch, c.AggPerPod)
 		for a := range aggs[pod] {
-			aggs[pod][a] = newSwitch(fmt.Sprintf("agg%d.%d", pod, a))
+			aggs[pod][a] = newSwitch(podEng, fmt.Sprintf("agg%d.%d", pod, a), shardOfPod(pod))
 		}
 		tors[pod] = make([]*netem.Switch, c.TorPerPod)
 		hostIDs[pod] = make([][]netem.NodeID, c.TorPerPod)
 		for t := range tors[pod] {
-			tors[pod][t] = newSwitch(fmt.Sprintf("tor%d.%d", pod, t))
+			tors[pod][t] = newSwitch(podEng, fmt.Sprintf("tor%d.%d", pod, t), shardOfPod(pod))
 		}
 	}
 
 	// Hosts and host<->ToR links.
 	rack := 0
 	for pod := 0; pod < c.Pods; pod++ {
+		podEng := engs[shardOfPod(pod)]
 		for t := 0; t < c.TorPerPod; t++ {
 			tor := tors[pod][t]
 			for hidx := 0; hidx < c.HostsPerTor; hidx++ {
 				id := net.AllocID()
 				name := fmt.Sprintf("h%d.%d.%d", pod, t, hidx)
-				nic := netem.NewPort(eng, name+":nic", p.LinkRate, p.LinkDelay, p.Profile(p.LinkRate), nil)
-				h := netem.NewHost(eng, id, name, nic, p.HostDelay)
+				nic := netem.NewPort(podEng, name+":nic", p.LinkRate, p.LinkDelay, p.Profile(p.LinkRate), nil)
+				h := netem.NewHost(podEng, id, name, nic, p.HostDelay)
 				nic.Connect(tor)
 				net.AddHost(h)
-				down := netem.NewPort(eng, tor.Name()+"->"+name, p.LinkRate, p.LinkDelay, p.Profile(p.LinkRate), tor.Shared())
+				if podShard != nil {
+					f.HostShard = append(f.HostShard, shardOfPod(pod))
+				}
+				down := netem.NewPort(podEng, tor.Name()+"->"+name, p.LinkRate, p.LinkDelay, p.Profile(p.LinkRate), tor.Shared())
 				down.Connect(h)
 				tor.AddPort(down)
 				tor.AddRoute(id, down)
@@ -220,10 +338,11 @@ func Clos(eng *sim.Engine, c ClosParams, p Params) *Fabric {
 		}
 		for t := 0; t < c.TorPerPod; t++ {
 			tor := tors[pod][t]
+			podEng := engs[shardOfPod(pod)]
 			torUp[pod][t] = make([]*netem.Port, c.AggPerPod)
 			for a := 0; a < c.AggPerPod; a++ {
 				agg := aggs[pod][a]
-				up, down := link(eng, fmt.Sprintf("%s<->%s", tor.Name(), agg.Name()),
+				up, down := link(podEng, podEng, fmt.Sprintf("%s<->%s", tor.Name(), agg.Name()),
 					tor, agg, p.LinkRate, p.LinkDelay, p.Profile, tor.Shared(), agg.Shared())
 				tor.AddPort(up)
 				agg.AddPort(down)
@@ -241,18 +360,25 @@ func Clos(eng *sim.Engine, c ClosParams, p Params) *Fabric {
 		coreDown[i] = make([]*netem.Port, c.Pods)
 	}
 	for pod := 0; pod < c.Pods; pod++ {
+		sp := shardOfPod(pod)
+		podEng := engs[sp]
 		aggUp[pod] = make([][]*netem.Port, c.AggPerPod)
 		for a := 0; a < c.AggPerPod; a++ {
 			agg := aggs[pod][a]
 			for u := 0; u < upPerAgg; u++ {
 				coreIdx := a*upPerAgg + u
 				core := cores[coreIdx]
-				up, down := link(eng, fmt.Sprintf("%s<->%s", agg.Name(), core.Name()),
+				up, down := link(podEng, eng, fmt.Sprintf("%s<->%s", agg.Name(), core.Name()),
 					agg, core, p.LinkRate, p.LinkDelay, p.Profile, agg.Shared(), core.Shared())
 				agg.AddPort(up)
 				core.AddPort(down)
 				aggUp[pod][a] = append(aggUp[pod][a], up)
 				coreDown[coreIdx][pod] = down
+				if sp != 0 {
+					f.Cross = append(f.Cross,
+						CrossLink{Port: up, From: sp, To: 0},
+						CrossLink{Port: down, From: 0, To: sp})
+				}
 			}
 		}
 	}

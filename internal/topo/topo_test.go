@@ -242,3 +242,125 @@ func TestHomaProfileEightPriorities(t *testing.T) {
 		t.Fatal("P0 needs the DCTCP marking threshold")
 	}
 }
+
+func TestClosPodShards(t *testing.T) {
+	c := ClosParams{Pods: 4, AggPerPod: 2, TorPerPod: 1, HostsPerTor: 2, Cores: 2}
+	for _, tc := range []struct {
+		want   int
+		shards int
+	}{{0, 1}, {1, 1}, {2, 2}, {3, 3}, {4, 4}, {9, 4}} {
+		plan := ClosPodShards(c, tc.want)
+		if len(plan) != c.Pods {
+			t.Fatalf("want=%d: plan length %d", tc.want, len(plan))
+		}
+		if got := Shards(plan); got != tc.shards {
+			t.Fatalf("want=%d: %d shards, expected %d (plan %v)", tc.want, got, tc.shards, plan)
+		}
+		for pod := 1; pod < len(plan); pod++ {
+			if plan[pod] < plan[pod-1] {
+				t.Fatalf("want=%d: plan not monotone: %v", tc.want, plan)
+			}
+		}
+	}
+}
+
+func TestClosShardedPartition(t *testing.T) {
+	c := ClosParams{Pods: 4, AggPerPod: 2, TorPerPod: 1, HostsPerTor: 2, Cores: 2}
+	p := Params{
+		LinkRate:  10 * units.Gbps,
+		LinkDelay: 2 * sim.Microsecond,
+		HostDelay: sim.Microsecond,
+		SwitchBuf: 1000 * units.KB,
+		BufAlpha:  0.25,
+		Profile:   FlexPassProfile(Spec{}),
+	}
+	engs := []*sim.Engine{sim.NewShardEngine(1, 0), sim.NewShardEngine(1, 1)}
+	plan := ClosPodShards(c, 2)
+	fab := ClosSharded(engs, plan, c, p)
+
+	if fab.Shards != 2 {
+		t.Fatalf("Shards = %d", fab.Shards)
+	}
+	if len(fab.HostShard) != c.Hosts() || len(fab.SwitchShard) != len(fab.Net.Switches) {
+		t.Fatalf("partition metadata sizes: hosts %d/%d switches %d/%d",
+			len(fab.HostShard), c.Hosts(), len(fab.SwitchShard), len(fab.Net.Switches))
+	}
+	// Hosts follow their pod's shard; pods 0-1 on shard 0, pods 2-3 on 1.
+	for i, s := range fab.HostShard {
+		pod := i / (c.TorPerPod * c.HostsPerTor)
+		if s != plan[pod] {
+			t.Fatalf("host %d (pod %d) on shard %d, want %d", i, pod, s, plan[pod])
+		}
+	}
+	// Every node's ports schedule on its shard's engine.
+	for i, sw := range fab.Net.Switches {
+		for _, port := range sw.Ports() {
+			if port.Engine() != engs[fab.SwitchShard[i]] {
+				t.Fatalf("switch %s port %s on wrong engine", sw.Name(), port.Name())
+			}
+		}
+	}
+	for i, h := range fab.Net.Hosts {
+		if h.NIC().Engine() != engs[fab.HostShard[i]] {
+			t.Fatalf("host %d NIC on wrong engine", i)
+		}
+	}
+	// Cross links: only agg<->core wires whose pod shard differs from the
+	// cores' shard 0, recorded with the owning side first.
+	if len(fab.Cross) == 0 {
+		t.Fatal("no cross links recorded")
+	}
+	for _, cl := range fab.Cross {
+		if cl.From == cl.To {
+			t.Fatalf("self cross link %+v", cl)
+		}
+		if cl.From != 0 && cl.To != 0 {
+			t.Fatalf("cross link avoids the core shard: %+v", cl)
+		}
+		if cl.Port.Engine() != engs[cl.From] {
+			t.Fatalf("cross port %s not owned by its From shard %d", cl.Port.Name(), cl.From)
+		}
+	}
+	// Expected count: core wiring is striped (each agg reaches
+	// Cores/AggPerPod cores), so a pod off the core shard contributes
+	// Cores wires each way.
+	wantCross := 0
+	for _, s := range plan {
+		if s != 0 {
+			wantCross += 2 * c.Cores
+		}
+	}
+	if len(fab.Cross) != wantCross {
+		t.Fatalf("%d cross links, want %d", len(fab.Cross), wantCross)
+	}
+}
+
+func TestDumbbellShardedPartition(t *testing.T) {
+	p := Params{
+		LinkRate:  10 * units.Gbps,
+		LinkDelay: 2 * sim.Microsecond,
+		HostDelay: sim.Microsecond,
+		SwitchBuf: 1000 * units.KB,
+		BufAlpha:  0.25,
+		Profile:   FlexPassProfile(Spec{}),
+	}
+	engL, engR := sim.NewShardEngine(1, 0), sim.NewShardEngine(1, 1)
+	fab := DumbbellSharded(engL, engR, 3, 3, 10*units.Gbps, p)
+	if fab.Shards != 2 || len(fab.Cross) != 2 {
+		t.Fatalf("Shards=%d cross=%d", fab.Shards, len(fab.Cross))
+	}
+	for _, cl := range fab.Cross {
+		if cl.Port.Engine() != []*sim.Engine{engL, engR}[cl.From] {
+			t.Fatalf("bottleneck cross port %s owned by wrong engine", cl.Port.Name())
+		}
+	}
+	for i, s := range fab.HostShard {
+		want := 0
+		if i >= 3 {
+			want = 1
+		}
+		if s != want {
+			t.Fatalf("host %d on shard %d, want %d", i, s, want)
+		}
+	}
+}

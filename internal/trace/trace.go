@@ -11,6 +11,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"flexpass/internal/sim"
@@ -160,4 +161,23 @@ func (r *Ring) String() string {
 	var b strings.Builder
 	_ = r.Dump(&b)
 	return b.String()
+}
+
+// Merge combines several rings into one read-only ring: events are
+// concatenated and stably sorted by time (ties keep ring order, so pass
+// rings in shard order for a deterministic result), and the displaced
+// counts are summed. Sharded runs merge their per-shard rings with this
+// after the fabric drains; nil rings are skipped.
+func Merge(rings ...*Ring) *Ring {
+	var events []Event
+	var dropped int64
+	for _, r := range rings {
+		if r == nil {
+			continue
+		}
+		events = append(events, r.Events()...)
+		dropped += r.Overwritten()
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return &Ring{events: events, dropped: dropped}
 }

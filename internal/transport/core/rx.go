@@ -91,3 +91,21 @@ func StartPair(fl *transport.Flow, snd, rcv transport.Endpoint, stats transport.
 	stats.Started.Inc()
 	ring.Add(trace.FlowStart, fl.ID, fl.Size, label)
 }
+
+// StartSenderSide is StartPair's send half, for sharded runs where the
+// flow's two endpoints start on different engines: it registers only the
+// sender and bills the flow-start stats/trace to the sender's shard.
+// Only this half labels the flow — the Flow's send-side fields belong to
+// the source shard's goroutine.
+func StartSenderSide(fl *transport.Flow, snd transport.Endpoint, stats transport.Counters, ring *trace.Ring, label string) {
+	fl.Src.Register(fl.ID, snd)
+	stats.Started.Inc()
+	ring.Add(trace.FlowStart, fl.ID, fl.Size, label)
+}
+
+// StartReceiverSide is StartPair's receive half: it registers only the
+// receiver on the destination agent, mutating nothing the sender's shard
+// touches.
+func StartReceiverSide(fl *transport.Flow, rcv transport.Endpoint) {
+	fl.Dst.Register(fl.ID, rcv)
+}

@@ -228,3 +228,19 @@ func Start(eng *sim.Engine, flow *transport.Flow, cfg Config) (*Sender, *Receive
 	s.Begin()
 	return s, r
 }
+
+// StartSender wires only the send side (sharded runs start the two
+// endpoints on their own shard engines) and begins transmission.
+func StartSender(eng *sim.Engine, flow *transport.Flow, cfg Config) *Sender {
+	s := NewSender(eng, flow, cfg)
+	core.StartSenderSide(flow, s, cfg.Stats, cfg.Trace, transport.SchemeDCTCP)
+	s.Begin()
+	return s
+}
+
+// StartReceiver wires only the receive side.
+func StartReceiver(eng *sim.Engine, flow *transport.Flow, cfg Config) *Receiver {
+	r := NewReceiver(eng, flow, cfg)
+	core.StartReceiverSide(flow, r)
+	return r
+}

@@ -27,3 +27,13 @@ func Config(p expresspass.PacerConfig) expresspass.Config {
 func Start(eng *sim.Engine, flow *transport.Flow, p expresspass.PacerConfig) (*expresspass.Sender, *expresspass.Receiver) {
 	return expresspass.Start(eng, flow, Config(p))
 }
+
+// StartSender wires only the layered send side (sharded runs).
+func StartSender(eng *sim.Engine, flow *transport.Flow, p expresspass.PacerConfig) *expresspass.Sender {
+	return expresspass.StartSender(eng, flow, Config(p))
+}
+
+// StartReceiver wires only the layered receive side (sharded runs).
+func StartReceiver(eng *sim.Engine, flow *transport.Flow, p expresspass.PacerConfig) *expresspass.Receiver {
+	return expresspass.StartReceiver(eng, flow, Config(p))
+}

@@ -369,3 +369,20 @@ func Start(eng *sim.Engine, flow *transport.Flow, arb *Arbiter, cfg Config) (*Se
 	s.Begin()
 	return s, r
 }
+
+// StartSender wires only the send side (sharded runs start the two
+// endpoints on their own shard engines) and begins the flow with its RTS.
+func StartSender(eng *sim.Engine, flow *transport.Flow, cfg Config) *Sender {
+	s := NewSender(eng, flow, cfg)
+	core.StartSenderSide(flow, s, cfg.Stats, cfg.Trace, transport.SchemePHost)
+	s.Begin()
+	return s
+}
+
+// StartReceiver wires only the receive side onto the destination host's
+// arbiter (which lives on the destination shard).
+func StartReceiver(eng *sim.Engine, flow *transport.Flow, arb *Arbiter, cfg Config) *Receiver {
+	r := NewReceiver(eng, flow, arb, cfg)
+	core.StartReceiverSide(flow, r)
+	return r
+}

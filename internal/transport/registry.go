@@ -103,6 +103,22 @@ type Scheme interface {
 	Start(fl *Flow)
 }
 
+// SplitScheme is a scheme that can start a flow's two endpoints
+// separately, for sharded runs where source and destination host live on
+// different engines. The sender half runs on the source shard's scheme
+// instance (whose env holds that shard's engine, registry, and trace
+// ring) and is the only half that labels the flow; the receiver half
+// runs on the destination shard's instance. For flows that stay inside
+// one shard the harness keeps calling Start, which must behave exactly
+// like StartSender followed by StartReceiver on one engine.
+type SplitScheme interface {
+	Scheme
+	// StartSender labels fl and begins its send side.
+	StartSender(fl *Flow)
+	// StartReceiver wires fl's receive side only.
+	StartReceiver(fl *Flow)
+}
+
 // SchemeFactory builds a scheme instance for one run.
 type SchemeFactory func(env *SchemeEnv) Scheme
 

@@ -21,5 +21,13 @@ func newDCTCP(env *transport.SchemeEnv) transport.Scheme {
 			fl.Legacy = true
 			dctcp.Start(env.Eng, fl, cfg)
 		},
+		startSender: func(fl *transport.Flow) {
+			fl.Transport = transport.SchemeDCTCP
+			fl.Legacy = true
+			dctcp.StartSender(env.Eng, fl, cfg)
+		},
+		startReceiver: func(fl *transport.Flow) {
+			dctcp.StartReceiver(env.Eng, fl, cfg)
+		},
 	}
 }

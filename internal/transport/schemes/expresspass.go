@@ -32,6 +32,13 @@ func newExpressPass(env *transport.SchemeEnv) transport.Scheme {
 			fl.Transport = transport.SchemeExpressPass
 			expresspass.Start(env.Eng, fl, cfg)
 		},
+		startSender: func(fl *transport.Flow) {
+			fl.Transport = transport.SchemeExpressPass
+			expresspass.StartSender(env.Eng, fl, cfg)
+		},
+		startReceiver: func(fl *transport.Flow) {
+			expresspass.StartReceiver(env.Eng, fl, cfg)
+		},
 	}
 }
 
@@ -51,6 +58,13 @@ func newOWF(env *transport.SchemeEnv) transport.Scheme {
 			fl.Transport = transport.SchemeExpressPass
 			expresspass.Start(env.Eng, fl, cfg)
 		},
+		startSender: func(fl *transport.Flow) {
+			fl.Transport = transport.SchemeExpressPass
+			expresspass.StartSender(env.Eng, fl, cfg)
+		},
+		startReceiver: func(fl *transport.Flow) {
+			expresspass.StartReceiver(env.Eng, fl, cfg)
+		},
 	}
 }
 
@@ -68,6 +82,13 @@ func newLayering(env *transport.SchemeEnv) transport.Scheme {
 		start: func(fl *transport.Flow) {
 			fl.Transport = transport.SchemeLayering
 			expresspass.Start(env.Eng, fl, cfg)
+		},
+		startSender: func(fl *transport.Flow) {
+			fl.Transport = transport.SchemeLayering
+			expresspass.StartSender(env.Eng, fl, cfg)
+		},
+		startReceiver: func(fl *transport.Flow) {
+			expresspass.StartReceiver(env.Eng, fl, cfg)
 		},
 	}
 }

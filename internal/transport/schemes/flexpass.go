@@ -31,6 +31,13 @@ func flexScheme(env *transport.SchemeEnv, cfg flexpass.Config, profile func() to
 			fl.Transport = transport.SchemeFlexPass
 			flexpass.Start(env.Eng, fl, cfg)
 		},
+		startSender: func(fl *transport.Flow) {
+			fl.Transport = transport.SchemeFlexPass
+			flexpass.StartSender(env.Eng, fl, cfg)
+		},
+		startReceiver: func(fl *transport.Flow) {
+			flexpass.StartReceiver(env.Eng, fl, cfg)
+		},
 	}
 }
 

@@ -24,5 +24,12 @@ func newHoma(env *transport.SchemeEnv) transport.Scheme {
 			fl.Transport = transport.SchemeHoma
 			homa.Start(env.Eng, fl, cfg)
 		},
+		startSender: func(fl *transport.Flow) {
+			fl.Transport = transport.SchemeHoma
+			homa.StartSender(env.Eng, fl, cfg)
+		},
+		startReceiver: func(fl *transport.Flow) {
+			homa.StartReceiver(env.Eng, fl, cfg)
+		},
 	}
 }

@@ -34,11 +34,31 @@ func (s *phostScheme) Profile() topo.PortProfile {
 }
 
 func (s *phostScheme) Start(fl *transport.Flow) {
+	fl.Transport = transport.SchemePHost
+	phost.Start(s.env.Eng, fl, s.arbiter(fl), s.cfg)
+}
+
+// arbiter returns (creating on first use) the destination host's grant
+// arbiter. In sharded runs only the destination shard's scheme instance
+// resolves arbiters, so each arbiter lives on the engine of the downlink
+// it serialises grants for.
+func (s *phostScheme) arbiter(fl *transport.Flow) *phost.Arbiter {
 	arb := s.arbiters[fl.Dst.Host]
 	if arb == nil {
 		arb = phost.NewArbiter(s.env.Eng, fl.Dst.Host, s.env.LinkRate)
 		s.arbiters[fl.Dst.Host] = arb
 	}
+	return arb
+}
+
+// StartSender begins the send side only (sharded runs).
+func (s *phostScheme) StartSender(fl *transport.Flow) {
 	fl.Transport = transport.SchemePHost
-	phost.Start(s.env.Eng, fl, arb, s.cfg)
+	phost.StartSender(s.env.Eng, fl, s.cfg)
+}
+
+// StartReceiver wires the receive side onto its destination-shard
+// arbiter (sharded runs).
+func (s *phostScheme) StartReceiver(fl *transport.Flow) {
+	phost.StartReceiver(s.env.Eng, fl, s.arbiter(fl), s.cfg)
 }

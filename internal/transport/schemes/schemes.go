@@ -36,14 +36,20 @@ func init() {
 }
 
 // scheme is the generic composed transport every factory returns: a queue
-// profile and a start hook, both closed over the run's env and configs.
+// profile and start hooks, all closed over the run's env and configs.
+// startSender/startReceiver are the split halves sharded runs use
+// (transport.SplitScheme); every built-in fills them.
 type scheme struct {
-	profile func() topo.PortProfile
-	start   func(fl *transport.Flow)
+	profile       func() topo.PortProfile
+	start         func(fl *transport.Flow)
+	startSender   func(fl *transport.Flow)
+	startReceiver func(fl *transport.Flow)
 }
 
-func (s *scheme) Profile() topo.PortProfile { return s.profile() }
-func (s *scheme) Start(fl *transport.Flow)  { s.start(fl) }
+func (s *scheme) Profile() topo.PortProfile        { return s.profile() }
+func (s *scheme) Start(fl *transport.Flow)         { s.start(fl) }
+func (s *scheme) StartSender(fl *transport.Flow)   { s.startSender(fl) }
+func (s *scheme) StartReceiver(fl *transport.Flow) { s.startReceiver(fl) }
 
 // legacyWQ falls back to the paper's default weight when the env leaves
 // w_q unset (hand-built testbeds).

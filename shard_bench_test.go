@@ -1,0 +1,65 @@
+package flexpass
+
+// BenchmarkShardScaling measures the parallel engine's events/sec at
+// 1/2/4/8 shards across three fabric scales (the repo's 48-host
+// SmallClos, the paper's 192-host PaperClos, and the 768-host BigClos),
+// web-search at load 0.8 — the ISSUE-8 scaling series. `make
+// bench-shards` runs it through benchjson into BENCH_PR8.json.
+//
+// The reported "cpus" metric records how many cores the run actually
+// had: conservative sharding can only beat the single engine when the
+// shard goroutines run on distinct cores, so on a 1-CPU container the
+// series measures synchronization overhead, not speedup (see DESIGN.md
+// §8).
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"flexpass/internal/harness"
+	"flexpass/internal/sim"
+	"flexpass/internal/topo"
+	"flexpass/internal/workload"
+)
+
+func shardBenchScenario(clos topo.ClosParams, shards int) harness.Scenario {
+	sc := harness.BaseScenario(false)
+	sc.Clos = clos
+	sc.Scheme = harness.SchemeFlexPass
+	sc.Workload = workload.WebSearch
+	sc.Load = 0.8
+	sc.Shards = shards
+	sc.Duration = 1 * sim.Millisecond
+	sc.Drain = 10 * sim.Millisecond
+	return sc
+}
+
+func BenchmarkShardScaling(b *testing.B) {
+	fabrics := []struct {
+		name string
+		clos topo.ClosParams
+	}{
+		{"small", topo.SmallClos},
+		{"paper", topo.PaperClos},
+		{"big", topo.BigClos},
+	}
+	for _, fab := range fabrics {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/shards=%d", fab.name, shards), func(b *testing.B) {
+				var events uint64
+				var wall float64
+				for i := 0; i < b.N; i++ {
+					res := harness.Run(shardBenchScenario(fab.clos, shards))
+					events += res.Events
+					wall += res.WallClock.Seconds()
+				}
+				if wall > 0 {
+					b.ReportMetric(float64(events)/wall, "events/sec")
+				}
+				b.ReportMetric(float64(events)/float64(b.N), "events")
+				b.ReportMetric(float64(runtime.NumCPU()), "cpus")
+			})
+		}
+	}
+}
