@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-core race-shard check bench bench-sim bench-hot bench-shards bench-baseline bench-compare lake-baseline lake-regression sweep-demo forensics-demo faults-demo clean clean-results
+.PHONY: all build vet test race race-core race-shard check bench bench-sim bench-hot bench-shards bench-baseline bench-compare lake-baseline lake-regression sweep-demo workload-demo forensics-demo faults-demo clean clean-results
 
 all: check
 
@@ -113,6 +113,15 @@ sweep-demo:
 	$(GO) run ./cmd/flexfarm run -spec examples/sweeps/scaling.json -out results_sweep
 	$(GO) run ./cmd/flexfarm query -lake results_sweep \
 	  -where fault_sig= -group-by scheme,load -agg fct_p99_us:mean,goodput_gbps:mean,count
+
+# Plan-driven workload demo: runs the flash-crowd example plan (Poisson
+# background with a 2.5x flash window plus ON/OFF bursts) and then the
+# multi-tenant RPC mix, whose artifact lands per-tenant and coflow
+# counters (workload/tenant/*, workload/coflow cct_us) in run.jsonl.
+workload-demo:
+	$(GO) run ./cmd/flexsim -workload-plan examples/workloads/flash-crowd.json -duration 5
+	$(GO) run ./cmd/flexsim -workload-plan examples/workloads/tenant-classes.json -duration 5 -telemetry-out run.jsonl
+	@echo "per-tenant and coflow counters:" && grep -h '"workload/' run.jsonl | head -12
 
 # Observation-only flow forensics on an incast run: records hop-by-hop
 # packet events, runs the invariant auditors (credit conservation,

@@ -22,6 +22,7 @@ import (
 	"flexpass/internal/obs"
 	"flexpass/internal/sim"
 	"flexpass/internal/units"
+	"flexpass/internal/workload"
 )
 
 var (
@@ -39,6 +40,7 @@ var (
 	traceFlow = flag.String("trace-flow", "", "comma-separated flow IDs whose timelines are always exported on -forensics-out runs")
 	pprofOut  = flag.String("pprof", "", "write a CPU profile of the experiment run to this file")
 	memOut    = flag.String("memprofile", "", "write a heap profile (post-run, after GC) to this file")
+	wlPlan    = flag.String("workload-plan", "", "JSON workload-plan file driving the base scenario's traffic (composable sources; see internal/workload)")
 	faultFile = flag.String("fault-plan", "", "JSON fault plan for the robustness run (default: a built-in ToR-uplink flap + burst-loss plan)")
 	faultSpec = flag.String("fault", "", "inline fault shorthand for the robustness run (see flexsim -fault)")
 )
@@ -64,6 +66,13 @@ func main() {
 	}
 	if *durMS > 0 {
 		base.Duration = sim.Time(*durMS * float64(sim.Millisecond))
+	}
+	if *wlPlan != "" {
+		p, err := workload.ParsePlanFile(*wlPlan)
+		if err != nil {
+			fatal(err)
+		}
+		base.WorkloadPlan = p
 	}
 	microDur := 80 * sim.Millisecond
 

@@ -45,6 +45,7 @@ func main() {
 		queues     = flag.Bool("queues", false, "sample Q1 occupancy at ToR uplinks")
 		shards     = flag.Int("shards", 1, "partition the fabric into this many per-pod-block shards, one engine goroutine each (1 = single engine; clamped to the pod count)")
 		traceIn    = flag.String("trace", "", "replay a CSV flow trace instead of generating traffic")
+		wlPlan     = flag.String("workload-plan", "", "JSON workload-plan file (see internal/workload): composable sources (poisson/onoff/lognormal/incast/rpc/trace) with rate modulators; replaces -workload/-incast")
 		traceOut   = flag.String("dump-trace", "", "write the generated workload as a CSV trace and exit")
 		telOut     = flag.String("telemetry-out", "", "write the run artifact (manifest, series, counters, trace) as JSONL — or CSV if the path ends in .csv")
 		traceRing  = flag.Int("trace-ring", 0, "capacity of the transport event trace ring (0 disables; dumped to stderr unless -telemetry-out captures it)")
@@ -116,6 +117,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
 		os.Exit(1)
 	}
+	if *wlPlan != "" {
+		if *traceIn != "" {
+			fmt.Fprintln(os.Stderr, "-workload-plan and -trace are mutually exclusive (a plan can embed a trace source instead)")
+			os.Exit(1)
+		}
+		p, err := workload.ParsePlanFile(*wlPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sc.WorkloadPlan = p
+	}
 
 	if *traceIn != "" {
 		f, err := os.Open(*traceIn)
@@ -136,18 +149,24 @@ func main() {
 		for i := range rackOf {
 			rackOf[i] = i / sc.Clos.HostsPerTor
 		}
-		bg := workload.BackgroundParams{
-			CDF:            sc.Workload,
+		// Reuse the harness's capacity computation by a direct formula:
+		uplinks := sc.Clos.Hosts() / sc.Clos.HostsPerTor * sc.Clos.AggPerPod
+		env := workload.Env{
 			Hosts:          sc.Clos.Hosts(),
 			RackOf:         rackOf,
-			UplinkCapacity: 0,
+			UplinkCapacity: sc.LinkRate * units.Rate(uplinks),
 			Load:           sc.Load,
 			Duration:       sc.Duration,
 		}
-		// Reuse the harness's capacity computation by a direct formula:
-		uplinks := sc.Clos.Hosts() / sc.Clos.HostsPerTor * sc.Clos.AggPerPod
-		bg.UplinkCapacity = sc.LinkRate * units.Rate(uplinks)
-		flows := bg.Generate(harness.WorkloadRand(sc.Seed))
+		plan := sc.WorkloadPlan
+		if plan == nil {
+			plan = workload.LegacyPlan(sc.Workload, sc.IncastFraction, sc.IncastFlowSize)
+		}
+		flows, err := plan.Generate(env, harness.WorkloadRand(sc.Seed))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -59,15 +59,19 @@ var Topologies = map[string]topo.ClosParams{
 type Spec struct {
 	Name string `json:"name,omitempty"`
 
-	Schemes     []string            `json:"scheme"`
-	Options     []map[string]string `json:"options,omitempty"`    // per-scheme option maps; default [{}]
-	Topologies  []string            `json:"topology,omitempty"`   // default ["small"]
-	Workloads   []string            `json:"workload,omitempty"`   // default ["websearch"]
-	Loads       []float64           `json:"load,omitempty"`       // default [0.5]
-	Deployments []float64           `json:"deployment,omitempty"` // default [0.5]
-	WQs         []float64           `json:"wq,omitempty"`         // default [0.5]
-	Seeds       []int64             `json:"seed,omitempty"`       // default [1]
-	Shards      []int               `json:"shards,omitempty"`     // parallel-engine shard counts; default [0] = single engine
+	Schemes    []string            `json:"scheme"`
+	Options    []map[string]string `json:"options,omitempty"`  // per-scheme option maps; default [{}]
+	Topologies []string            `json:"topology,omitempty"` // default ["small"]
+	// Workloads axis entries are either distribution names ("websearch")
+	// or workload-plan files (anything ending in .json, parsed with
+	// workload.ParsePlanFile). Plan entries enter the point identity by
+	// content hash, so renaming a plan file does not re-run the sweep.
+	Workloads   []string  `json:"workload,omitempty"`   // default ["websearch"]
+	Loads       []float64 `json:"load,omitempty"`       // default [0.5]
+	Deployments []float64 `json:"deployment,omitempty"` // default [0.5]
+	WQs         []float64 `json:"wq,omitempty"`         // default [0.5]
+	Seeds       []int64   `json:"seed,omitempty"`       // default [1]
+	Shards      []int     `json:"shards,omitempty"`     // parallel-engine shard counts; default [0] = single engine
 
 	// Faults lists fault timelines: "" (or omitted) is a clean run, a
 	// path ending in .json is a plan file, anything else is the
@@ -78,17 +82,36 @@ type Spec struct {
 	DrainMS        float64 `json:"drain_ms,omitempty"`    // default 5x duration
 	IncastFraction float64 `json:"incast,omitempty"`
 	PoolPackets    bool    `json:"pool_packets,omitempty"`
+
+	// baseDir anchors relative plan-file entries (workload and fault
+	// axes) when the spec came from a file, so checked-in specs work
+	// from any working directory. ParseSpec (bytes) leaves it empty:
+	// paths then resolve against the process cwd.
+	baseDir string
+}
+
+// resolvePath anchors a relative plan-file path at the spec's directory.
+func (s *Spec) resolvePath(p string) string {
+	if s.baseDir == "" || filepath.IsAbs(p) {
+		return p
+	}
+	return filepath.Join(s.baseDir, p)
 }
 
 // ParseSpec decodes and validates a sweep spec. Unknown fields are
 // rejected so a typo'd axis fails loudly instead of sweeping nothing.
 func ParseSpec(data []byte) (*Spec, error) {
+	return parseSpec(data, "")
+}
+
+func parseSpec(data []byte, baseDir string) (*Spec, error) {
 	dec := json.NewDecoder(strings.NewReader(string(data)))
 	dec.DisallowUnknownFields()
 	var s Spec
 	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("farm: bad sweep spec: %w", err)
 	}
+	s.baseDir = baseDir
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -96,13 +119,14 @@ func ParseSpec(data []byte) (*Spec, error) {
 }
 
 // ParseSpecFile reads and validates the sweep spec at path, defaulting
-// the sweep name to the file stem.
+// the sweep name to the file stem. Relative plan-file entries in the
+// workload and fault axes resolve against the spec file's directory.
 func ParseSpecFile(path string) (*Spec, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	s, err := ParseSpec(data)
+	s, err := parseSpec(data, filepath.Dir(path))
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
@@ -135,6 +159,12 @@ func (s *Spec) Validate() error {
 		}
 	}
 	for _, w := range s.Workloads {
+		if strings.HasSuffix(w, ".json") {
+			if _, err := workload.ParsePlanFile(s.resolvePath(w)); err != nil {
+				return fmt.Errorf("farm: workload plan %q: %w", w, err)
+			}
+			continue
+		}
 		if workload.ByName(w) == nil {
 			return fmt.Errorf("farm: unknown workload %q", w)
 		}
@@ -166,7 +196,7 @@ func (s *Spec) Validate() error {
 		if f == "" {
 			continue
 		}
-		if _, err := resolveFault(f); err != nil {
+		if _, err := s.resolveFault(f); err != nil {
 			return fmt.Errorf("farm: fault %q: %w", f, err)
 		}
 	}
@@ -175,9 +205,9 @@ func (s *Spec) Validate() error {
 
 // resolveFault turns a spec fault entry into a plan: a *.json path is
 // a plan file, anything else the CLI shorthand.
-func resolveFault(entry string) (*faults.Plan, error) {
+func (s *Spec) resolveFault(entry string) (*faults.Plan, error) {
 	if strings.HasSuffix(entry, ".json") {
-		data, err := os.ReadFile(entry)
+		data, err := os.ReadFile(s.resolvePath(entry))
 		if err != nil {
 			return nil, err
 		}
@@ -196,15 +226,20 @@ func resolveFault(entry string) (*faults.Plan, error) {
 // Point is one expanded scenario of a sweep: the coordinates on every
 // axis. Its canonical JSON form is the content address of the run.
 type Point struct {
-	Sweep      string            `json:"sweep,omitempty"`
-	Scheme     string            `json:"scheme"`
-	Options    map[string]string `json:"options,omitempty"`
-	Topo       string            `json:"topology"`
-	Workload   string            `json:"workload"`
-	Load       float64           `json:"load"`
-	Deployment float64           `json:"deployment"`
-	WQ         float64           `json:"wq"`
-	Seed       int64             `json:"seed"`
+	Sweep   string            `json:"sweep,omitempty"`
+	Scheme  string            `json:"scheme"`
+	Options map[string]string `json:"options,omitempty"`
+	Topo    string            `json:"topology"`
+	// Workload is the spec entry: a distribution name, or a plan file
+	// path kept for display; WorkloadHash is the resolved plan's content
+	// hash and, when set, the part that enters the identity (so a
+	// renamed plan file with the same sources is the same point).
+	Workload     string  `json:"workload"`
+	WorkloadHash string  `json:"workload_hash,omitempty"`
+	Load         float64 `json:"load"`
+	Deployment   float64 `json:"deployment"`
+	WQ           float64 `json:"wq"`
+	Seed         int64   `json:"seed"`
 	// Shards selects the parallel engine (0 = single engine). Omitted
 	// when zero so pre-sharding point hashes are unchanged.
 	Shards int `json:"shards,omitempty"`
@@ -219,16 +254,22 @@ type Point struct {
 	IncastFraction float64 `json:"incast,omitempty"`
 	PoolPackets    bool    `json:"pool_packets,omitempty"`
 
-	plan *faults.Plan
+	plan  *faults.Plan
+	wplan *workload.Plan
 }
 
 // Hash is the point's content address: sha256 over the canonical JSON
-// form with the display-only fault entry blanked (identity rides on
-// FaultHash). Go marshals struct fields in declaration order and maps
-// with sorted keys, so the encoding is canonical.
+// form with the display-only fault and workload-plan entries blanked
+// (their identities ride on FaultHash / WorkloadHash). Go marshals
+// struct fields in declaration order and maps with sorted keys, so the
+// encoding is canonical.
 func (p Point) Hash() string {
 	p.Fault = ""
 	p.plan = nil
+	p.wplan = nil
+	if p.WorkloadHash != "" {
+		p.Workload = ""
+	}
 	b, err := json.Marshal(p)
 	if err != nil {
 		panic(fmt.Sprintf("farm: hashing point: %v", err))
@@ -261,7 +302,12 @@ func (p Point) Scenario() harness.Scenario {
 	sc.Clos = Topologies[p.Topo]
 	sc.Scheme = harness.Scheme(p.Scheme)
 	sc.SchemeOptions = p.Options
-	sc.Workload = workload.ByName(p.Workload)
+	if p.wplan != nil {
+		sc.Workload = nil
+		sc.WorkloadPlan = p.wplan
+	} else {
+		sc.Workload = workload.ByName(p.Workload)
+	}
 	sc.Load = p.Load
 	sc.Deployment = p.Deployment
 	sc.WQ = p.WQ
@@ -321,18 +367,30 @@ func (s *Spec) Points() ([]Point, error) {
 		if f == "" {
 			continue
 		}
-		p, err := resolveFault(f)
+		p, err := s.resolveFault(f)
 		if err != nil {
 			return nil, fmt.Errorf("farm: fault %q: %w", f, err)
 		}
 		plans[i], hashes[i] = p, p.Hash()
+	}
+	wplans := make([]*workload.Plan, len(wls))
+	whashes := make([]string, len(wls))
+	for i, w := range wls {
+		if !strings.HasSuffix(w, ".json") {
+			continue
+		}
+		p, err := workload.ParsePlanFile(s.resolvePath(w))
+		if err != nil {
+			return nil, fmt.Errorf("farm: workload plan %q: %w", w, err)
+		}
+		wplans[i], whashes[i] = p, p.Hash()
 	}
 
 	var pts []Point
 	for _, sch := range s.Schemes {
 		for _, opt := range opts {
 			for _, tp := range topos {
-				for _, wl := range wls {
+				for wi, wl := range wls {
 					for _, load := range loads {
 						for _, dep := range deps {
 							for _, wq := range wqs {
@@ -342,13 +400,15 @@ func (s *Spec) Points() ([]Point, error) {
 											pts = append(pts, Point{
 												Sweep: s.Name, Scheme: sch, Options: opt,
 												Topo: tp, Workload: wl,
-												Load: load, Deployment: dep, WQ: wq,
+												WorkloadHash: whashes[wi],
+												Load:         load, Deployment: dep, WQ: wq,
 												Seed: seed, Shards: nsh,
 												Fault: f, FaultHash: hashes[fi],
 												DurationMS: durMS, DrainMS: drainMS,
 												IncastFraction: s.IncastFraction,
 												PoolPackets:    s.PoolPackets,
 												plan:           plans[fi],
+												wplan:          wplans[wi],
 											})
 										}
 									}

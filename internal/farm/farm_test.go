@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -312,5 +313,79 @@ func TestExecuteIsolatesFailures(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(dir, FailuresFile)); !os.IsNotExist(err) {
 		t.Error("stale failure log survived a clean run")
+	}
+}
+
+// A workload axis entry ending in .json is a workload-plan file: the
+// point carries the plan (Scenario gets WorkloadPlan) and its identity
+// is the plan's content hash, so renaming the file changes neither the
+// point hash nor the artifact it resumes from.
+func TestWorkloadPlanAxis(t *testing.T) {
+	dir := t.TempDir()
+	planJSON := `{"sources":[
+		{"kind":"poisson","tenant":"bg","cdf":"websearch","load":0.3},
+		{"kind":"incast","fraction":0.1,"flow_size":8000,"coflow":true}
+	]}`
+	specFor := func(name string) *Spec {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(planJSON), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := ParseSpec([]byte(`{
+			"name": "wp",
+			"scheme": ["flexpass"],
+			"topology": ["tiny"],
+			"workload": ["websearch", ` + strconv.Quote(path) + `],
+			"duration_ms": 0.3
+		}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	pts, err := specFor("first.json").Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("expanded to %d points", len(pts))
+	}
+	named, planned := pts[0], pts[1]
+	if named.WorkloadHash != "" {
+		t.Fatalf("distribution-name point grew a plan hash: %+v", named)
+	}
+	if planned.WorkloadHash == "" || !strings.HasSuffix(planned.Workload, "first.json") {
+		t.Fatalf("plan point wrong: %+v", planned)
+	}
+	sc := planned.Scenario()
+	if sc.WorkloadPlan == nil || sc.Workload != nil {
+		t.Fatal("plan point's scenario should route through WorkloadPlan")
+	}
+	if sc.WorkloadPlan.Hash() != planned.WorkloadHash {
+		t.Fatal("point hash does not match the resolved plan")
+	}
+
+	// Renaming the plan file must not change the point identity.
+	pts2, err := specFor("renamed.json").Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts2[1].Hash() != planned.Hash() {
+		t.Fatalf("renaming the plan file changed the point hash: %s vs %s",
+			pts2[1].Hash(), planned.Hash())
+	}
+	if pts2[0].Hash() != named.Hash() {
+		t.Fatal("plain workload point hash drifted")
+	}
+
+	// A broken plan file fails spec validation up front.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"sources":[{"kind":"warp"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSpec([]byte(`{"scheme":["flexpass"],"workload":[` + strconv.Quote(bad) + `]}`)); err == nil {
+		t.Fatal("spec with an invalid plan file should fail validation")
 	}
 }

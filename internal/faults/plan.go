@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"strings"
 
+	"flexpass/internal/planspec"
 	"flexpass/internal/sim"
 )
 
@@ -50,65 +51,15 @@ func (k Kind) interval() bool {
 	return k == LinkDown || k == RateDegrade || k == BurstLoss || k == CreditLoss
 }
 
-// TimeSpec is a sim.Time with a forgiving JSON form: a bare number is
-// picoseconds (the artifact convention), a string accepts a unit suffix
-// ("250us", "2ms", "1.5s"). It always marshals as exact picoseconds so
-// a plan round-trips losslessly.
-type TimeSpec sim.Time
-
-// Time converts to the engine clock.
-func (t TimeSpec) Time() sim.Time { return sim.Time(t) }
-
-// MarshalJSON emits exact picoseconds.
-func (t TimeSpec) MarshalJSON() ([]byte, error) {
-	return []byte(strconv.FormatInt(int64(t), 10)), nil
-}
-
-// UnmarshalJSON accepts a picosecond number or a unit-suffixed string.
-func (t *TimeSpec) UnmarshalJSON(b []byte) error {
-	if len(b) > 0 && b[0] == '"' {
-		var s string
-		if err := json.Unmarshal(b, &s); err != nil {
-			return err
-		}
-		d, err := parseTime(s)
-		if err != nil {
-			return err
-		}
-		*t = TimeSpec(d)
-		return nil
-	}
-	var ps int64
-	if err := json.Unmarshal(b, &ps); err != nil {
-		return fmt.Errorf("time must be a picosecond number or a unit-suffixed string: %w", err)
-	}
-	*t = TimeSpec(ps)
-	return nil
-}
+// TimeSpec is the shared plan time codec (see internal/planspec): a
+// bare JSON number is picoseconds, a string accepts a unit suffix
+// ("250us", "2ms", "1.5s"), and marshaling always emits exact
+// picoseconds so a plan round-trips losslessly.
+type TimeSpec = planspec.TimeSpec
 
 // parseTime parses "2ms", "250us", "1.5s", "40ns", "7ps". A bare number
 // string is picoseconds.
-func parseTime(s string) (sim.Time, error) {
-	s = strings.TrimSpace(s)
-	unit := sim.Picosecond
-	switch {
-	case strings.HasSuffix(s, "ps"):
-		s = s[:len(s)-2]
-	case strings.HasSuffix(s, "ns"):
-		s, unit = s[:len(s)-2], sim.Nanosecond
-	case strings.HasSuffix(s, "us"):
-		s, unit = s[:len(s)-2], sim.Microsecond
-	case strings.HasSuffix(s, "ms"):
-		s, unit = s[:len(s)-2], sim.Millisecond
-	case strings.HasSuffix(s, "s"):
-		s, unit = s[:len(s)-1], sim.Second
-	}
-	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad time %q: %w", s, err)
-	}
-	return sim.Time(v * float64(unit)), nil
-}
+func parseTime(s string) (sim.Time, error) { return planspec.ParseTime(s) }
 
 // Event is one scripted fault. Link is a path.Match glob over port names
 // (see topo: "sw0->h1", "tor0.0->h0.0.0", "h3:nic"); a pattern may hit
@@ -409,15 +360,5 @@ func ParseSpec(spec string) (*Plan, error) {
 
 // parseWindow parses "START-END" or "START" (end 0 = open).
 func parseWindow(w string) (at, end sim.Time, err error) {
-	lo, hi, ok := strings.Cut(w, "-")
-	if at, err = parseTime(lo); err != nil {
-		return 0, 0, err
-	}
-	if !ok {
-		return at, 0, nil
-	}
-	if end, err = parseTime(hi); err != nil {
-		return 0, 0, err
-	}
-	return at, end, nil
+	return planspec.ParseWindow(w)
 }

@@ -60,7 +60,11 @@ type Scenario struct {
 	WQ     float64   // FlexPass queue weight (w_q); FlexPass is insensitive to it
 	Spec   topo.Spec // threshold overrides (selective drop / ECN)
 
-	// Workload.
+	// Workload. The legacy parameter knobs (Workload CDF, IncastFraction,
+	// IncastFlowSize) and the composable plan below both route through
+	// the same generator: when WorkloadPlan is nil, planWorkload builds
+	// the equivalent builtin plan, which consumes the workload RNG stream
+	// bit-identically to the historical direct-parameter path.
 	Workload       *workload.CDF
 	Load           float64
 	Deployment     float64 // fraction of FlexPass/ExpressPass-enabled racks
@@ -68,6 +72,13 @@ type Scenario struct {
 	IncastFlowSize int64
 	Duration       sim.Time // arrival window
 	Drain          sim.Time // extra time for in-flight flows to finish
+
+	// WorkloadPlan, when non-nil, replaces the parameter workload with a
+	// composable source plan (see workload.Plan): Poisson/ON-OFF/
+	// lognormal backgrounds, incast, RPC coflows, and trace replay, each
+	// optionally rate-modulated, generated against this scenario's
+	// topology, load, and duration. TraceFlows still wins over both.
+	WorkloadPlan *workload.Plan
 
 	// SampleQueues enables Q1 occupancy sampling at ToR uplinks.
 	SampleQueues bool
@@ -297,31 +308,35 @@ func planWorkload(sc Scenario) *runPlan {
 	}
 	racks := p.hosts / sc.Clos.HostsPerTor
 	p.enabled = workload.DeployRacks(racks, sc.Deployment)
-	wlRand := WorkloadRand(sc.Seed)
 	uplinks := racks * sc.Clos.AggPerPod // ToR uplink count
-	bg := workload.BackgroundParams{
-		CDF:            sc.Workload,
+	env := workload.Env{
 		Hosts:          p.hosts,
 		RackOf:         p.rackOf,
 		UplinkCapacity: units.Rate(int64(sc.LinkRate) * int64(uplinks)),
 		Load:           sc.Load,
 		Duration:       sc.Duration,
 	}
-	if sc.TraceFlows != nil {
+	switch {
+	case sc.TraceFlows != nil:
 		p.flows = sc.TraceFlows
-	} else {
-		p.flows = bg.Generate(wlRand)
-	}
-	if sc.TraceFlows == nil && sc.IncastFraction > 0 {
-		bgBytesPerSec := sc.Load * float64(bg.UplinkCapacity) / 8
-		inc := workload.IncastParams{
-			Hosts:          p.hosts,
-			FlowsPerSender: 4,
-			FlowSize:       sc.IncastFlowSize,
-			EventRate:      workload.EventRateFor(sc.IncastFraction, bgBytesPerSec, p.hosts, 4, sc.IncastFlowSize),
-			Duration:       sc.Duration,
+	case sc.WorkloadPlan != nil:
+		flows, err := sc.WorkloadPlan.Generate(env, WorkloadRand(sc.Seed))
+		if err != nil {
+			panic(fmt.Sprintf("harness: workload plan %q: %v", sc.WorkloadPlan.Name, err))
 		}
-		p.flows = workload.Merge(p.flows, inc.Generate(wlRand))
+		p.flows = flows
+	default:
+		// The parameter workload is the builtin plan: a Poisson
+		// background at the scenario load plus the optional legacy
+		// incast mix. LegacyPlan consumes the seeded stream exactly as
+		// the historical direct-parameter path did, so golden flow
+		// digests are unchanged (see scheme_digest_test.go).
+		legacy := workload.LegacyPlan(sc.Workload, sc.IncastFraction, sc.IncastFlowSize)
+		flows, err := legacy.Generate(env, WorkloadRand(sc.Seed))
+		if err != nil {
+			panic(fmt.Sprintf("harness: builtin workload: %v", err))
+		}
+		p.flows = flows
 	}
 	var upBytes, totBytes float64
 	for _, f := range p.flows {
@@ -644,6 +659,7 @@ func Run(sc Scenario) *Result {
 	}
 
 	if reg != nil {
+		recordWorkloadObs(reg, flows, all)
 		res.Telemetry = obs.Collect(reg, prober, buildManifest(sc, hosts, prober.Interval(), res, 0))
 		res.Telemetry.AttachTrace(ring)
 		if res.Forensics != nil {
@@ -687,8 +703,16 @@ func countFabricDrops(fab *topo.Fabric, res *Result) {
 // effective parallel-engine count (0 on the single-engine path, so the
 // field is omitted from the artifact exactly as before sharding).
 func buildManifest(sc Scenario, hosts int, probe sim.Time, res *Result, shards int) obs.Manifest {
+	// Workload identity mirrors planWorkload's routing: trace replays get
+	// a content-addressed "trace:<digest>" (a trace run used to record an
+	// empty workload), plans their name, the parameter path its CDF name.
 	wl := ""
-	if sc.Workload != nil {
+	switch {
+	case sc.TraceFlows != nil:
+		wl = workload.TraceID(sc.TraceFlows)
+	case sc.WorkloadPlan != nil:
+		wl = sc.WorkloadPlan.Name
+	case sc.Workload != nil:
 		wl = sc.Workload.Name
 	}
 	wallMS := float64(res.WallClock) / float64(time.Millisecond)
@@ -711,25 +735,31 @@ func buildManifest(sc Scenario, hosts int, probe sim.Time, res *Result, shards i
 	if sc.FaultPlan != nil {
 		planName, planHash = sc.FaultPlan.Name, sc.FaultPlan.Hash()
 	}
+	wplanName, wplanHash := "", ""
+	if sc.WorkloadPlan != nil {
+		wplanName, wplanHash = sc.WorkloadPlan.Name, sc.WorkloadPlan.Hash()
+	}
 	return obs.Manifest{
 		Seed: sc.Seed,
 		Topology: fmt.Sprintf("clos pods=%d agg/pod=%d tor/pod=%d hosts/tor=%d cores=%d hosts=%d",
 			sc.Clos.Pods, sc.Clos.AggPerPod, sc.Clos.TorPerPod, sc.Clos.HostsPerTor, sc.Clos.Cores, hosts),
-		Scheme:        string(sc.Scheme),
-		Workload:      wl,
-		Load:          sc.Load,
-		Deployment:    sc.Deployment,
-		WQ:            sc.WQ,
-		DurationPs:    int64(sc.Duration + sc.Drain),
-		Shards:        shards,
-		SchemeOptions: sc.schemeOptions(),
-		FaultPlan:     planName,
-		FaultPlanHash: planHash,
-		Revision:      obs.RepoRevision(),
-		Config:        config,
-		WallMS:        wallMS,
-		Events:        res.Events,
-		EventsPerSec:  eps,
-		Profile:       res.Profile,
+		Scheme:           string(sc.Scheme),
+		Workload:         wl,
+		Load:             sc.Load,
+		Deployment:       sc.Deployment,
+		WQ:               sc.WQ,
+		DurationPs:       int64(sc.Duration + sc.Drain),
+		Shards:           shards,
+		SchemeOptions:    sc.schemeOptions(),
+		FaultPlan:        planName,
+		FaultPlanHash:    planHash,
+		WorkloadPlan:     wplanName,
+		WorkloadPlanHash: wplanHash,
+		Revision:         obs.RepoRevision(),
+		Config:           config,
+		WallMS:           wallMS,
+		Events:           res.Events,
+		EventsPerSec:     eps,
+		Profile:          res.Profile,
 	}
 }

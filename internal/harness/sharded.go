@@ -359,6 +359,9 @@ func runSharded(sc Scenario, podShard []int) *Result {
 	}
 
 	if regs[0] != nil {
+		// Workload accounting is global, not per-shard: fold it into
+		// shard 0's registry before the merge.
+		recordWorkloadObs(regs[0], plan.flows, all)
 		perShard := make([]*obs.Run, nShards)
 		for s := range regs {
 			perShard[s] = obs.Collect(regs[s], probers[s], obs.Manifest{})

@@ -40,6 +40,8 @@ var runColumns = []column{
 	{name: "options", gs: func(r *Row) *string { return &r.Options }},
 	{name: "fault", gs: func(r *Row) *string { return &r.Fault }},
 	{name: "fault_sig", gs: func(r *Row) *string { return &r.FaultSig }},
+	{name: "workload_plan", gs: func(r *Row) *string { return &r.WlPlan }},
+	{name: "workload_plan_sig", gs: func(r *Row) *string { return &r.WlPlanSig }},
 	{name: "revision", gs: func(r *Row) *string { return &r.Revision }},
 	{name: "salvaged", gb: func(r *Row) *bool { return &r.Salvaged }},
 	{name: "seed", gi: func(r *Row) *int64 { return &r.Seed }},
@@ -61,6 +63,10 @@ var runColumns = []column{
 	{name: "drops_total", gi: func(r *Row) *int64 { return &r.DropsTotal }},
 	{name: "fault_actions", gi: func(r *Row) *int64 { return &r.FaultActions }},
 	{name: "fault_drops", gi: func(r *Row) *int64 { return &r.FaultDrops }},
+	{name: "tenants", gi: func(r *Row) *int64 { return &r.Tenants }},
+	{name: "coflows", gi: func(r *Row) *int64 { return &r.Coflows }},
+	{name: "coflows_done", gi: func(r *Row) *int64 { return &r.CoflowsDone }},
+	{name: "cct_p99_us", gf: func(r *Row) *float64 { return &r.CCTP99Us }},
 	{name: "events", gi: func(r *Row) *int64 { return &r.Events }},
 	{name: "wall_ms", gf: func(r *Row) *float64 { return &r.WallMS }},
 	{name: "events_per_sec", gf: func(r *Row) *float64 { return &r.EventsPerSec }},

@@ -20,7 +20,8 @@ import (
 var DiffMetrics = []string{
 	"goodput_gbps", "fct_p50_us", "fct_p99_us",
 	"flows", "completed", "timeouts", "retransmits",
-	"drops_red", "drops_total", "fault_drops", "events",
+	"drops_red", "drops_total", "fault_drops",
+	"coflows", "coflows_done", "cct_p99_us", "events",
 }
 
 // PerfMetrics are reported for context but never drift.
@@ -79,7 +80,7 @@ func (d *DiffReport) Clean() bool {
 // match on what the scenario actually was.
 func rowKey(r *Row) string {
 	return strings.Join([]string{
-		r.Scheme, r.Topo, r.Workload, r.Options, r.FaultSig,
+		r.Scheme, r.Topo, r.Workload, r.Options, r.FaultSig, r.WlPlanSig,
 		trimFloat(r.Load), trimFloat(r.Deploy), trimFloat(r.WQ),
 		fmt.Sprintf("%d", r.Seed), fmt.Sprintf("%d", r.DurationPs),
 	}, "|")

@@ -30,23 +30,25 @@ import (
 // artifact's counters, histograms, and fault lines.
 type Row struct {
 	// Identity dimensions.
-	ID       string // scenario content hash (config "scenario_hash") or artifact stem
-	File     string // artifact basename the row was ingested from
-	Schema   int    // artifact schema version (1, 2, 3, ...)
-	Salvaged bool   // artifact was damaged; row built from the salvaged prefix
-	Sweep    string // sweep name (config "sweep"), if farmed
-	Scheme   string
-	Topo     string // short topology label (config "topo") or manifest topology
-	Workload string
-	Options  string // canonical "k=v k2=v2" rendering of the scheme options
-	Fault    string // fault-plan name ("" = clean run)
-	FaultSig string // fault-plan content hash
-	Revision string
-	Seed     int64
-	Shards   int64 // parallel-engine shard count (0 = single engine)
-	Load     float64
-	Deploy   float64
-	WQ       float64
+	ID        string // scenario content hash (config "scenario_hash") or artifact stem
+	File      string // artifact basename the row was ingested from
+	Schema    int    // artifact schema version (1, 2, 3, ...)
+	Salvaged  bool   // artifact was damaged; row built from the salvaged prefix
+	Sweep     string // sweep name (config "sweep"), if farmed
+	Scheme    string
+	Topo      string // short topology label (config "topo") or manifest topology
+	Workload  string
+	Options   string // canonical "k=v k2=v2" rendering of the scheme options
+	Fault     string // fault-plan name ("" = clean run)
+	FaultSig  string // fault-plan content hash
+	WlPlan    string // workload-plan name ("" = parameter workload)
+	WlPlanSig string // workload-plan content hash (rename-invariant)
+	Revision  string
+	Seed      int64
+	Shards    int64 // parallel-engine shard count (0 = single engine)
+	Load      float64
+	Deploy    float64
+	WQ        float64
 
 	// Metrics.
 	DurationPs   int64
@@ -57,12 +59,16 @@ type Row struct {
 	FCTP99Us     float64
 	Timeouts     int64
 	Retransmits  int64
-	CreditsIss   int64 // credits issued by receivers
-	CreditsWaste int64 // credits that arrived with nothing to send
-	DropsRed     int64 // selective (red-threshold) drops
-	DropsTotal   int64 // all queue drops
-	FaultActions int64 // applied fault-plan actions (artifact "fault" lines)
-	FaultDrops   int64 // packets destroyed by fault injection
+	CreditsIss   int64   // credits issued by receivers
+	CreditsWaste int64   // credits that arrived with nothing to send
+	DropsRed     int64   // selective (red-threshold) drops
+	DropsTotal   int64   // all queue drops
+	FaultActions int64   // applied fault-plan actions (artifact "fault" lines)
+	FaultDrops   int64   // packets destroyed by fault injection
+	Tenants      int64   // distinct tenant load classes the workload tagged
+	Coflows      int64   // coflow groups generated (RPC jobs, tagged incasts)
+	CoflowsDone  int64   // coflows whose every member flow completed
+	CCTP99Us     float64 // coflow completion time p99 (log-bucket bound)
 	Events       int64
 	WallMS       float64 // perf self-report; machine-dependent
 	EventsPerSec float64
@@ -93,21 +99,23 @@ func OptionsString(opts map[string]string) string {
 func FromRun(r *obs.Run, file string, salvaged bool) Row {
 	m := r.Manifest
 	row := Row{
-		File:     filepath.Base(file),
-		Schema:   m.Schema,
-		Salvaged: salvaged,
-		Scheme:   m.Scheme,
-		Topo:     m.Topology,
-		Workload: m.Workload,
-		Options:  OptionsString(m.SchemeOptions),
-		Fault:    m.FaultPlan,
-		FaultSig: m.FaultPlanHash,
-		Revision: m.Revision,
-		Seed:     m.Seed,
-		Shards:   int64(m.Shards),
-		Load:     m.Load,
-		Deploy:   m.Deployment,
-		WQ:       m.WQ,
+		File:      filepath.Base(file),
+		Schema:    m.Schema,
+		Salvaged:  salvaged,
+		Scheme:    m.Scheme,
+		Topo:      m.Topology,
+		Workload:  m.Workload,
+		Options:   OptionsString(m.SchemeOptions),
+		Fault:     m.FaultPlan,
+		FaultSig:  m.FaultPlanHash,
+		WlPlan:    m.WorkloadPlan,
+		WlPlanSig: m.WorkloadPlanHash,
+		Revision:  m.Revision,
+		Seed:      m.Seed,
+		Shards:    int64(m.Shards),
+		Load:      m.Load,
+		Deploy:    m.Deployment,
+		WQ:        m.WQ,
 
 		DurationPs:   m.DurationPs,
 		Events:       int64(m.Events),
@@ -126,10 +134,14 @@ func FromRun(r *obs.Run, file string, salvaged bool) Row {
 	}
 
 	var rxBytes int64
+	tenants := map[string]bool{}
 	for _, c := range r.Counters {
 		isTransport := strings.HasPrefix(c.Entity, "transport/")
 		isQueue := strings.HasPrefix(c.Entity, "port/") && strings.Contains(c.Entity, "/q")
 		isPort := strings.HasPrefix(c.Entity, "port/") && !isQueue
+		if strings.HasPrefix(c.Entity, "workload/tenant/") {
+			tenants[c.Entity] = true
+		}
 		switch {
 		case isTransport && c.Metric == "flows_started":
 			row.Flows += c.Value
@@ -151,20 +163,29 @@ func FromRun(r *obs.Run, file string, salvaged bool) Row {
 			row.DropsRed += c.Value
 		case isPort && c.Metric == "faults_injected":
 			row.FaultDrops += c.Value
+		case c.Entity == "workload/coflow" && c.Metric == "coflows":
+			row.Coflows += c.Value
+		case c.Entity == "workload/coflow" && c.Metric == "coflows_done":
+			row.CoflowsDone += c.Value
 		}
 	}
+	row.Tenants = int64(len(tenants))
 	if m.DurationPs > 0 {
 		secs := float64(m.DurationPs) / float64(sim.Second)
 		row.GoodputGbps = float64(rxBytes) * 8 / secs / 1e9
 	}
-	var fcts []obs.HistData
+	var fcts, ccts []obs.HistData
 	for _, h := range r.Hists {
 		if strings.HasPrefix(h.Entity, "transport/") && h.Metric == "fct_us" {
 			fcts = append(fcts, h)
 		}
+		if h.Entity == "workload/coflow" && h.Metric == "cct_us" {
+			ccts = append(ccts, h)
+		}
 	}
 	row.FCTP50Us = float64(mergedQuantile(fcts, 0.5))
 	row.FCTP99Us = float64(mergedQuantile(fcts, 0.99))
+	row.CCTP99Us = float64(mergedQuantile(ccts, 0.99))
 	row.FaultActions = int64(len(r.Faults))
 	return row
 }

@@ -19,7 +19,10 @@ import (
 // lake keys on: the per-scheme options map, the fault-plan name and
 // content hash, and the producing repo revision. v1/v2 artifacts stay
 // readable — the new fields simply decode empty.
-const SchemaVersion = 3
+// v4 added the workload-plan identity (name + content hash) for runs
+// driven by composable workload plans; older artifacts again decode
+// with the fields empty.
+const SchemaVersion = 4
 
 // Manifest is the run's self-description: everything needed to
 // re-run or interpret the artifact without the producing binary.
@@ -46,6 +49,13 @@ type Manifest struct {
 	// any: the plan's display name and faults.Plan.Hash() content hash.
 	FaultPlan     string `json:"fault_plan,omitempty"`
 	FaultPlanHash string `json:"fault_plan_hash,omitempty"`
+	// WorkloadPlan / WorkloadPlanHash identify the composable workload
+	// plan, if the run was driven by one: the plan's display name and
+	// workload.Plan.Hash() content hash (rename-invariant, trace sources
+	// hashed by content). Runs on the parameter workload leave both
+	// empty and keep identifying themselves via Workload alone.
+	WorkloadPlan     string `json:"workload_plan,omitempty"`
+	WorkloadPlanHash string `json:"workload_plan_hash,omitempty"`
 	// Revision is the producing repo revision (best-effort VCS stamp).
 	Revision string `json:"revision,omitempty"`
 	// Config holds free-form knob values not covered by the typed fields.

@@ -1,0 +1,90 @@
+// Package planspec holds the small wire vocabulary shared by the
+// repo's data-driven plan formats (fault plans, workload plans): a
+// sim.Time JSON codec with forgiving input and canonical output. Both
+// plan families hash their canonical JSON as the scenario identity, so
+// the codec lives in one place and marshals deterministically.
+package planspec
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"flexpass/internal/sim"
+)
+
+// TimeSpec is a sim.Time with a forgiving JSON form: a bare number is
+// picoseconds (the artifact convention), a string accepts a unit suffix
+// ("250us", "2ms", "1.5s"). It always marshals as exact picoseconds so
+// a plan round-trips losslessly and hashes canonically.
+type TimeSpec sim.Time
+
+// Time converts to the engine clock.
+func (t TimeSpec) Time() sim.Time { return sim.Time(t) }
+
+// MarshalJSON emits exact picoseconds.
+func (t TimeSpec) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.FormatInt(int64(t), 10)), nil
+}
+
+// UnmarshalJSON accepts a picosecond number or a unit-suffixed string.
+func (t *TimeSpec) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		d, err := ParseTime(s)
+		if err != nil {
+			return err
+		}
+		*t = TimeSpec(d)
+		return nil
+	}
+	var ps int64
+	if err := json.Unmarshal(b, &ps); err != nil {
+		return fmt.Errorf("time must be a picosecond number or a unit-suffixed string: %w", err)
+	}
+	*t = TimeSpec(ps)
+	return nil
+}
+
+// ParseTime parses "2ms", "250us", "1.5s", "40ns", "7ps". A bare number
+// string is picoseconds.
+func ParseTime(s string) (sim.Time, error) {
+	s = strings.TrimSpace(s)
+	unit := sim.Picosecond
+	switch {
+	case strings.HasSuffix(s, "ps"):
+		s = s[:len(s)-2]
+	case strings.HasSuffix(s, "ns"):
+		s, unit = s[:len(s)-2], sim.Nanosecond
+	case strings.HasSuffix(s, "us"):
+		s, unit = s[:len(s)-2], sim.Microsecond
+	case strings.HasSuffix(s, "ms"):
+		s, unit = s[:len(s)-2], sim.Millisecond
+	case strings.HasSuffix(s, "s"):
+		s, unit = s[:len(s)-1], sim.Second
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad time %q: %w", s, err)
+	}
+	return sim.Time(v * float64(unit)), nil
+}
+
+// ParseWindow parses "START-END" or "START" (end 0 = open).
+func ParseWindow(w string) (at, end sim.Time, err error) {
+	lo, hi, ok := strings.Cut(w, "-")
+	if at, err = ParseTime(lo); err != nil {
+		return 0, 0, err
+	}
+	if !ok {
+		return at, 0, nil
+	}
+	if end, err = ParseTime(hi); err != nil {
+		return 0, 0, err
+	}
+	return at, end, nil
+}

@@ -14,6 +14,15 @@ type FlowSpec struct {
 	Size     int64
 	At       sim.Time
 	Incast   bool // foreground incast flow
+
+	// Tenant labels the load class the flow belongs to ("" = untagged);
+	// plan sources stamp their tenant name here so per-tenant accounting
+	// and lake columns can tell classes apart.
+	Tenant string
+	// Coflow groups flows that complete together (an RPC fan-out/fan-in
+	// or a tagged incast event). 0 = not part of a coflow. IDs are
+	// unique within one generated workload.
+	Coflow uint64
 }
 
 // BackgroundParams calibrates the §6.2 background traffic: Poisson flow

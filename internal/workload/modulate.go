@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"math"
+
+	"flexpass/internal/planspec"
+	"flexpass/internal/sim"
+)
+
+// A Modulator shapes a source's arrival rate over time: the effective
+// rate at instant t is the base rate times the product of every
+// modulator's scale(t). Generation uses thinning — the classic
+// nonhomogeneous-Poisson construction: the source generates arrivals at
+// its base rate times the envelope's maximum, then each arrival unit
+// (a flow, or a whole coflow/incast event) survives with probability
+// scale(t)/maxScale. Thinning keeps the per-source generators simple
+// and works for the non-Poisson sources too (there it modulates
+// intensity approximately rather than exactly).
+type Modulator struct {
+	// Kind selects the envelope: "ramp" (linear load change across the
+	// run), "flash" (a flash crowd: multiply by Peak inside [At,End],
+	// with linear rise and fall over Ramp), or "diurnal" (a sinusoid
+	// between Min and 1 with the given Period, starting at the trough).
+	Kind string `json:"kind"`
+
+	// Flash fields.
+	At   planspec.TimeSpec `json:"at,omitempty"`
+	End  planspec.TimeSpec `json:"end,omitempty"`
+	Peak float64           `json:"peak,omitempty"`
+	Ramp planspec.TimeSpec `json:"ramp,omitempty"`
+
+	// Ramp fields: scale moves linearly From -> To over the arrival
+	// window.
+	From float64 `json:"from,omitempty"`
+	To   float64 `json:"to,omitempty"`
+
+	// Diurnal fields.
+	Period planspec.TimeSpec `json:"period,omitempty"`
+	Min    float64           `json:"min,omitempty"`
+}
+
+// Modulator kinds.
+const (
+	ModRamp    = "ramp"
+	ModFlash   = "flash"
+	ModDiurnal = "diurnal"
+)
+
+// maxScale returns the envelope's maximum over the run — the factor
+// the base generation rate is inflated by before thinning.
+func (m Modulator) maxScale() float64 {
+	switch m.Kind {
+	case ModRamp:
+		return math.Max(m.From, m.To)
+	case ModFlash:
+		return math.Max(1, m.Peak)
+	case ModDiurnal:
+		return 1
+	}
+	return 1
+}
+
+// scale evaluates the envelope at t, with horizon the arrival window
+// (the ramp's domain).
+func (m Modulator) scale(t, horizon sim.Time) float64 {
+	switch m.Kind {
+	case ModRamp:
+		if horizon <= 0 {
+			return m.From
+		}
+		frac := float64(t) / float64(horizon)
+		if frac > 1 {
+			frac = 1
+		}
+		return m.From + (m.To-m.From)*frac
+	case ModFlash:
+		at, end, ramp := m.At.Time(), m.End.Time(), m.Ramp.Time()
+		if t < at || t >= end {
+			return 1
+		}
+		peak := math.Max(1, m.Peak)
+		if ramp > 0 {
+			if rise := t - at; rise < ramp {
+				return 1 + (peak-1)*float64(rise)/float64(ramp)
+			}
+			if fall := end - t; fall < ramp {
+				return 1 + (peak-1)*float64(fall)/float64(ramp)
+			}
+		}
+		return peak
+	case ModDiurnal:
+		if m.Period <= 0 {
+			return 1
+		}
+		min := m.Min
+		phase := 2 * math.Pi * float64(t) / float64(m.Period.Time())
+		// Starts at the trough (scale = Min at t = 0).
+		return min + (1-min)*(0.5-0.5*math.Cos(phase))
+	}
+	return 1
+}
+
+// envelope is the composed modulation of one source.
+type envelope struct {
+	mods    []Modulator
+	horizon sim.Time
+}
+
+// max is the product of the component maxima.
+func (e envelope) max() float64 {
+	s := 1.0
+	for _, m := range e.mods {
+		s *= m.maxScale()
+	}
+	return s
+}
+
+// scale is the product of the component envelopes at t.
+func (e envelope) scale(t sim.Time) float64 {
+	s := 1.0
+	for _, m := range e.mods {
+		s *= m.scale(t, e.horizon)
+	}
+	return s
+}

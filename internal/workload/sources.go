@@ -1,0 +1,229 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"flexpass/internal/sim"
+	"flexpass/internal/units"
+)
+
+// This file holds the plan-driven source generators beyond the paper's
+// Poisson+CDF background and incast mix (arrivals.go): ON/OFF bursts,
+// lognormal inter-arrivals, and RPC fan-out/fan-in coflows. Each mirrors
+// the BackgroundParams shape — a calibrated params struct with a
+// Generate(r) method producing a time-sorted flow list — so the plan
+// layer (plan.go) composes them uniformly.
+
+// arrivalRateFor returns the flow arrival rate (flows/second) that hits
+// a core-load target for flows of the given mean size between uniformly
+// random host pairs, with the rack-crossing correction (intra-rack flows
+// do not cross ToR uplinks).
+func arrivalRateFor(meanSize float64, hosts int, rackOf []int, capacity units.Rate, load float64) float64 {
+	cross := crossProb(hosts, rackOf)
+	if cross <= 0 {
+		cross = 1
+	}
+	bytesPerSec := load * float64(capacity) / 8
+	return bytesPerSec / (meanSize * cross)
+}
+
+// randomPair draws a uniformly random src/dst host pair (src != dst),
+// consuming exactly two Intn draws — the same stream shape as
+// BackgroundParams.Generate.
+func randomPair(r *rand.Rand, hosts int) (src, dst int) {
+	src = r.Intn(hosts)
+	dst = r.Intn(hosts - 1)
+	if dst >= src {
+		dst++
+	}
+	return src, dst
+}
+
+// OnOffParams generates bursty traffic from a global ON/OFF envelope:
+// the source alternates exponentially distributed ON periods (mean
+// MeanOn), during which flows arrive Poisson between random host pairs
+// sized by the CDF, and OFF periods (mean MeanOff) with no arrivals.
+// The peak (ON) arrival rate is set so the long-run average core load is
+// Load: peak = avg / duty cycle.
+type OnOffParams struct {
+	CDF            *CDF
+	Hosts          int
+	RackOf         []int
+	UplinkCapacity units.Rate
+	Load           float64 // long-run average core load
+	MeanOn         sim.Time
+	MeanOff        sim.Time
+	Duration       sim.Time
+}
+
+// PeakRate returns the ON-period Poisson arrival rate (flows/second).
+func (p OnOffParams) PeakRate() float64 {
+	duty := p.MeanOn.Seconds() / (p.MeanOn.Seconds() + p.MeanOff.Seconds())
+	return arrivalRateFor(p.CDF.Mean(), p.Hosts, p.RackOf, p.UplinkCapacity, p.Load) / duty
+}
+
+// Generate produces the ON/OFF flow list, sorted by arrival time.
+func (p OnOffParams) Generate(r *rand.Rand) []FlowSpec {
+	peak := p.PeakRate()
+	horizon := p.Duration.Seconds()
+	var flows []FlowSpec
+	t := 0.0
+	on := true
+	edge := r.ExpFloat64() * p.MeanOn.Seconds()
+	for t < horizon {
+		if !on {
+			// Fast-forward through the OFF period.
+			t = edge
+			on = true
+			edge = t + r.ExpFloat64()*p.MeanOn.Seconds()
+			continue
+		}
+		dt := r.ExpFloat64() / peak
+		if t+dt >= edge {
+			// The next arrival would fall past the ON window: discard it
+			// and switch off (memorylessness makes the discard exact).
+			t = edge
+			on = false
+			edge = t + r.ExpFloat64()*p.MeanOff.Seconds()
+			continue
+		}
+		t += dt
+		if t >= horizon {
+			break
+		}
+		src, dst := randomPair(r, p.Hosts)
+		flows = append(flows, FlowSpec{
+			Src: src, Dst: dst,
+			Size: p.CDF.Sample(r),
+			At:   sim.Time(t * float64(sim.Second)),
+		})
+	}
+	return flows
+}
+
+// LognormalParams generates background traffic with heavy-tailed
+// lognormal inter-arrival times instead of exponential ones: burstier
+// than Poisson at the same average rate (the "trains" production traces
+// exhibit). Sigma is the shape parameter of the log inter-arrival; the
+// scale is set so the mean inter-arrival hits the Load target exactly
+// (mu = ln(1/rate) - sigma^2/2).
+type LognormalParams struct {
+	CDF            *CDF
+	Hosts          int
+	RackOf         []int
+	UplinkCapacity units.Rate
+	Load           float64
+	Sigma          float64
+	Duration       sim.Time
+}
+
+// Rate returns the mean flow arrival rate (flows/second).
+func (p LognormalParams) Rate() float64 {
+	return arrivalRateFor(p.CDF.Mean(), p.Hosts, p.RackOf, p.UplinkCapacity, p.Load)
+}
+
+// Generate produces the flow list, sorted by arrival time.
+func (p LognormalParams) Generate(r *rand.Rand) []FlowSpec {
+	rate := p.Rate()
+	mu := math.Log(1/rate) - p.Sigma*p.Sigma/2
+	horizon := p.Duration.Seconds()
+	var flows []FlowSpec
+	t := 0.0
+	for {
+		t += math.Exp(mu + p.Sigma*r.NormFloat64())
+		if t >= horizon {
+			break
+		}
+		src, dst := randomPair(r, p.Hosts)
+		flows = append(flows, FlowSpec{
+			Src: src, Dst: dst,
+			Size: p.CDF.Sample(r),
+			At:   sim.Time(t * float64(sim.Second)),
+		})
+	}
+	return flows
+}
+
+// RPCParams generates fan-out/fan-in coflows: jobs arrive Poisson; each
+// job picks a random root host, fans RequestSize-byte requests out to
+// Fanout distinct random workers, and every worker sends a response
+// back to the root (fan-in). All 2×Fanout flows of a job share one
+// coflow ID, so the harness can report coflow completion times — the
+// job is done when its slowest flow finishes. Response sizes come from
+// ResponseCDF when set, else they are fixed ResponseSize bytes.
+//
+// Responses are scheduled at the job arrival instant alongside the
+// requests: trace-style generation cannot know when a request will be
+// delivered, so the fan-in contends with its own fan-out — a documented
+// approximation (DESIGN.md §9).
+type RPCParams struct {
+	Hosts        int
+	Rate         float64 // jobs per second
+	Fanout       int
+	RequestSize  int64
+	ResponseSize int64
+	ResponseCDF  *CDF
+	Duration     sim.Time
+}
+
+// JobBytes returns the expected bytes one job moves.
+func (p RPCParams) JobBytes() float64 {
+	resp := float64(p.ResponseSize)
+	if p.ResponseCDF != nil {
+		resp = p.ResponseCDF.Mean()
+	}
+	return float64(p.Fanout) * (float64(p.RequestSize) + resp)
+}
+
+// RateForLoad returns the job arrival rate that makes RPC traffic
+// occupy the given fraction of the uplink capacity.
+func (p RPCParams) RateForLoad(load float64, capacity units.Rate) float64 {
+	return load * float64(capacity) / 8 / p.JobBytes()
+}
+
+// Generate produces the coflow flow list, sorted by arrival time.
+// Coflow IDs are assigned sequentially starting at *nextCoflow, which
+// is advanced past the last used ID (the plan layer threads one counter
+// through every source so IDs stay unique per workload).
+func (p RPCParams) Generate(r *rand.Rand, nextCoflow *uint64) []FlowSpec {
+	var flows []FlowSpec
+	horizon := p.Duration.Seconds()
+	if p.Rate <= 0 {
+		return nil
+	}
+	t := 0.0
+	for {
+		t += r.ExpFloat64() / p.Rate
+		if t >= horizon {
+			break
+		}
+		at := sim.Time(t * float64(sim.Second))
+		root := r.Intn(p.Hosts)
+		cf := *nextCoflow
+		*nextCoflow++
+		seen := map[int]bool{}
+		for k := 0; k < p.Fanout; k++ {
+			w := r.Intn(p.Hosts - 1)
+			if w >= root {
+				w++
+			}
+			for seen[w] {
+				w = r.Intn(p.Hosts - 1)
+				if w >= root {
+					w++
+				}
+			}
+			seen[w] = true
+			resp := p.ResponseSize
+			if p.ResponseCDF != nil {
+				resp = p.ResponseCDF.Sample(r)
+			}
+			flows = append(flows,
+				FlowSpec{Src: root, Dst: w, Size: p.RequestSize, At: at, Coflow: cf},
+				FlowSpec{Src: w, Dst: root, Size: resp, At: at, Coflow: cf, Incast: true},
+			)
+		}
+	}
+	return flows
+}

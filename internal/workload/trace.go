@@ -2,6 +2,8 @@ package workload
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"strconv"
@@ -36,6 +38,17 @@ func WriteTrace(w io.Writer, flows []FlowSpec) error {
 	return bw.Flush()
 }
 
+// TraceID returns a stable identity for a trace-driven workload:
+// "trace:" plus a short digest of the flows' canonical CSV form. Runs
+// fed the same flow list get the same ID regardless of the trace
+// file's name, comment lines, or field formatting quirks.
+func TraceID(flows []FlowSpec) string {
+	h := sha256.New()
+	// WriteTrace to a hash never fails: the hash sink cannot error.
+	_ = WriteTrace(h, flows)
+	return "trace:" + hex.EncodeToString(h.Sum(nil))[:12]
+}
+
 // ReadTrace parses a CSV trace. Lines are validated strictly: a malformed
 // line aborts with its line number.
 func ReadTrace(r io.Reader) ([]FlowSpec, error) {
@@ -43,15 +56,20 @@ func ReadTrace(r io.Reader) ([]FlowSpec, error) {
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	var flows []FlowSpec
 	lineNo := 0
+	seenData := false
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		if lineNo == 1 && strings.HasPrefix(line, "at_us") {
-			continue // header
+		// The header is skipped wherever it first appears: comment and
+		// blank lines may legitimately precede it, so this must not be
+		// pinned to line 1.
+		if !seenData && strings.HasPrefix(line, "at_us") {
+			continue
 		}
+		seenData = true
 		fields := strings.Split(line, ",")
 		if len(fields) != 5 {
 			return nil, fmt.Errorf("workload: trace line %d: want 5 fields, got %d", lineNo, len(fields))

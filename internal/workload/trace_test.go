@@ -73,3 +73,52 @@ func TestReadTraceSortsAndSkipsComments(t *testing.T) {
 		t.Fatalf("not sorted by arrival: %+v", flows[0])
 	}
 }
+
+// Regression: a header preceded by comment or blank lines must still be
+// recognized (the skip used to be pinned to line 1).
+func TestReadTraceHeaderAfterComments(t *testing.T) {
+	in := "# exported by flexsim -dump-trace\n\n# schema v1\nat_us,src,dst,size_bytes,incast\n1.0,2,3,100,0\n"
+	flows, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 1 || flows[0].Src != 2 || flows[0].Dst != 3 {
+		t.Fatalf("parsed %+v", flows)
+	}
+	// A header-looking line after data is data (and malformed), not a
+	// header to skip silently.
+	in = "1.0,2,3,100,0\nat_us,src,dst,size_bytes,incast\n"
+	if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+		t.Fatal("header after data should be rejected, not skipped")
+	}
+}
+
+func TestTraceIDStable(t *testing.T) {
+	flows := []FlowSpec{
+		{At: sim.Microsecond, Src: 0, Dst: 1, Size: 1000},
+		{At: 2 * sim.Microsecond, Src: 1, Dst: 2, Size: 2000, Incast: true},
+	}
+	id := TraceID(flows)
+	if !strings.HasPrefix(id, "trace:") || len(id) != len("trace:")+12 {
+		t.Fatalf("bad trace ID %q", id)
+	}
+	if TraceID(flows) != id {
+		t.Fatal("TraceID not deterministic")
+	}
+	// The identity follows content: reparsing the canonical CSV form
+	// (e.g. after a dump/replay round trip) keeps the ID.
+	var b strings.Builder
+	if err := WriteTrace(&b, flows); err != nil {
+		t.Fatal(err)
+	}
+	reread, err := ReadTrace(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TraceID(reread) != id {
+		t.Fatalf("round trip changed the ID: %q vs %q", TraceID(reread), id)
+	}
+	if TraceID(flows[:1]) == id {
+		t.Fatal("different flow lists share an ID")
+	}
+}
