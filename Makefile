@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-core race-shard check bench bench-sim bench-hot bench-shards bench-baseline bench-compare lake-baseline lake-regression sweep-demo workload-demo forensics-demo faults-demo clean clean-results
+.PHONY: all build vet test race race-core race-shard check bench bench-sim bench-hot bench-shards bench-baseline bench-compare lake-baseline lake-regression chaos-smoke sweep-demo workload-demo forensics-demo faults-demo clean clean-results
 
 all: check
 
@@ -100,6 +100,16 @@ lake-baseline:
 	cp lake-ci/index.json ci/lake-baseline.json
 	@echo wrote ci/lake-baseline.json
 
+# Fixed-seed chaos soak: 150 randomized fault/scenario trials on the
+# tiny fabric with the forensics auditors promoted to hard oracles
+# (invariant violations, non-completing flows, and stray-packet surges
+# all fail the trial). The seed is pinned, so the job is deterministic;
+# a failing trial leaves chaos-ci/repro-<N>.json, which CI uploads and
+# `flexfarm chaos replay` (or `flexsim -fault-plan`) reproduces exactly.
+chaos-smoke:
+	rm -rf chaos-ci
+	$(GO) run ./cmd/flexfarm chaos run -spec ci/chaos-smoke.json -out chaos-ci -shrink
+
 # End-to-end smoke of the runtime introspection plane: the micro-sweep
 # served live (/status polled to completion, /metrics format-checked)
 # plus an engine self-profile written as folded stacks.
@@ -144,4 +154,4 @@ clean:
 # Remove regenerated sweep/lake outputs. The checked-in results/,
 # results_full/, and results_pooled/ CSVs are figure inputs and stay.
 clean-results:
-	rm -rf lake-ci results_sweep
+	rm -rf lake-ci results_sweep chaos-ci

@@ -28,10 +28,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"flexpass/internal/farm"
@@ -55,13 +58,15 @@ func main() {
 		benchCmd(os.Args[2:])
 	case "diff":
 		diffCmd(os.Args[2:])
+	case "chaos":
+		chaosCmd(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: flexfarm run|ingest|query|bench|diff [flags]  (see `go doc ./cmd/flexfarm`)")
+	fmt.Fprintln(os.Stderr, "usage: flexfarm run|ingest|query|bench|diff|chaos [flags]  (see `go doc ./cmd/flexfarm`)")
 	os.Exit(2)
 }
 
@@ -81,6 +86,9 @@ func runCmd(args []string) {
 	serve := fs.String("serve", "", "serve live /status, /metrics, and pprof on this address (e.g. :8080)")
 	linger := fs.Duration("serve-linger", 0, "keep the -serve endpoint up this long after the sweep finishes")
 	summaryEvery := fs.Duration("summary-every", 2*time.Second, "periodic progress summary interval (0 disables)")
+	pointTimeout := fs.Duration("point-timeout", 0, "wall-clock deadline per scenario; exceeded points are killed and recorded as failures (0 = off)")
+	retries := fs.Int("retries", 0, "re-run a failed point up to this many extra times")
+	backoff := fs.Duration("backoff", 0, "base delay before a retry, doubling per attempt (default 250ms when retries > 0)")
 	fs.Parse(args)
 	if *spec == "" || *out == "" {
 		fatal(fmt.Errorf("run needs -spec and -out"))
@@ -109,7 +117,20 @@ func runCmd(args []string) {
 			fmt.Fprintf(os.Stderr, "%-4s %s %s\n", ev.Kind, ev.Hash, ev.Label)
 		}
 	}
-	opt := farm.Options{Workers: *workers, Force: *force, Progress: farm.Fanout(tracker.Observe, logLine)}
+	// SIGINT/SIGTERM stop dispatching new points; in-flight points
+	// finish, failures.jsonl and the index are still written, and the
+	// sweep resumes from its artifacts on the next invocation.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	opt := farm.Options{
+		Workers: *workers, Force: *force,
+		Progress:     farm.Fanout(tracker.Observe, logLine),
+		PointTimeout: *pointTimeout,
+		Retries:      *retries,
+		Backoff:      *backoff,
+		Ctx:          ctx,
+	}
 
 	var srv *live.Server
 	if *serve != "" {
@@ -144,8 +165,12 @@ func runCmd(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "sweep %q: %d ran, %d resumed, %d failed (of %d)\n",
-		s.Name, rep.Ran, rep.Skipped, len(rep.Failures), rep.Total)
+	interrupted := ""
+	if rep.Canceled {
+		interrupted = " — interrupted, resume with the same command"
+	}
+	fmt.Fprintf(os.Stderr, "sweep %q: %d ran, %d resumed, %d failed (of %d)%s\n",
+		s.Name, rep.Ran, rep.Skipped, len(rep.Failures), rep.Total, interrupted)
 	for _, f := range rep.Failures {
 		fmt.Fprintf(os.Stderr, "  FAIL %s %s: %s\n", f.Hash, f.Label, f.Error)
 	}
@@ -154,7 +179,7 @@ func runCmd(args []string) {
 		time.Sleep(*linger)
 	}
 	srv.Close()
-	if len(rep.Failures) > 0 {
+	if len(rep.Failures) > 0 || rep.Canceled {
 		os.Exit(1)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"flexpass/internal/chaos"
 	"flexpass/internal/faults"
 	"flexpass/internal/forensics"
 	"flexpass/internal/harness"
@@ -61,6 +62,8 @@ func main() {
 		faultSpec  = flag.String("fault", "", "inline fault shorthand, e.g. 'down@sw0->h1@2ms-3ms,burst@tor*@1ms-5ms'; same behavior as -fault-plan")
 		faultOne   = flag.Bool("fault-single", false, "with a fault plan: run once faulted instead of the clean-vs-faulted pair (composes with -telemetry-out/-forensics-out)")
 		degradeOut = flag.String("degradation-out", "", "stem for the degradation report artifact; writes <stem>.jsonl and <stem>.csv")
+		deadline   = flag.Duration("deadline", 0, "wall-clock deadline; a run still going after this is killed with a clean error (0 = off)")
+		stallTO    = flag.Duration("stall-timeout", 0, "kill the run when the engine horizon stops advancing for this long (livelock/wedge guard; 0 = off)")
 	)
 	flag.Parse()
 
@@ -204,21 +207,39 @@ func main() {
 		sc.Forensics = fo
 	}
 	var plan *faults.Plan
+	var repro *chaos.Repro
 	if *faultPlan != "" && *faultSpec != "" {
 		fmt.Fprintln(os.Stderr, "-fault-plan and -fault are mutually exclusive")
 		os.Exit(1)
 	}
 	if *faultPlan != "" {
 		data, err := os.ReadFile(*faultPlan)
-		if err == nil {
-			plan, err = faults.ParsePlan(data)
-		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if plan.Name == "" {
-			plan.Name = *faultPlan
+		if chaos.IsRepro(data) {
+			// A chaos repro document carries the whole failing scenario —
+			// coordinates, oracle thresholds, fault plan, and the pinned
+			// flow list — so the replay is bit-identical to the failing
+			// trial. It replaces every scenario flag.
+			repro, err = chaos.ParseRepro(data)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			sc = repro.Scenario()
+			fmt.Fprintf(os.Stderr, "chaos repro %s: trial %d of spec %q, recorded outcome %q, %d pinned flows\n",
+				*faultPlan, repro.Trial, repro.Spec, repro.Outcome, len(repro.Flows))
+		} else {
+			plan, err = faults.ParsePlan(data)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if plan.Name == "" {
+				plan.Name = *faultPlan
+			}
 		}
 	} else if *faultSpec != "" {
 		var err error
@@ -227,6 +248,10 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// The watchdog limits guard every run mode, including each leg of
+	// the degradation pair.
+	sc.Deadline = *deadline
+	sc.StallTimeout = *stallTO
 	if plan != nil && !*faultOne {
 		// Degradation mode: run the selected scheme clean and faulted on
 		// the same seed and report the deltas.
@@ -241,7 +266,9 @@ func main() {
 		}
 		return
 	}
-	sc.FaultPlan = plan
+	if repro == nil {
+		sc.FaultPlan = plan
+	}
 	sc.Profile = *profOut != ""
 
 	var srv *live.Server
@@ -267,7 +294,7 @@ func main() {
 		stopCPU = stop
 	}
 
-	res := harness.Run(sc)
+	res := runGuarded(sc)
 
 	if stopCPU != nil {
 		if err := stopCPU(); err != nil {
@@ -386,4 +413,36 @@ func main() {
 		fmt.Printf("oracle queue weight: %.3f\n", res.OracleWQ)
 	}
 	fmt.Printf("events processed: %d\n", res.Events)
+
+	if repro != nil {
+		v := chaos.Evaluate(res, repro.Oracles)
+		fmt.Printf("chaos verdict: %s", v.Outcome)
+		if v.Detail != "" {
+			fmt.Printf(" (%s)", v.Detail)
+		}
+		fmt.Println()
+		if repro.Outcome != "" && v.Outcome != repro.Outcome {
+			fmt.Fprintf(os.Stderr, "replay outcome %q differs from the recorded %q\n", v.Outcome, repro.Outcome)
+			os.Exit(1)
+		}
+		if v.Failed() {
+			os.Exit(1) // reproduced
+		}
+	}
+}
+
+// runGuarded runs the scenario, turning a watchdog kill into a clean
+// CLI error instead of a panic trace.
+func runGuarded(sc harness.Scenario) *harness.Result {
+	defer func() {
+		if r := recover(); r != nil {
+			ke, ok := r.(*harness.KilledError)
+			if !ok {
+				panic(r)
+			}
+			fmt.Fprintln(os.Stderr, "flexsim:", ke)
+			os.Exit(1)
+		}
+	}()
+	return harness.Run(sc)
 }

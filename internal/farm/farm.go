@@ -19,6 +19,7 @@ package farm
 
 import (
 	"bufio"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -27,8 +28,10 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flexpass/internal/faults"
@@ -424,12 +427,17 @@ func (s *Spec) Points() ([]Point, error) {
 }
 
 // Failure is one isolated scenario failure, recorded in
-// failures.jsonl.
+// failures.jsonl. Attempt and ElapsedMS make retried and timed-out
+// points auditable after a soak: Attempt is how many executions the
+// point got before being given up on, ElapsedMS the wall-clock cost of
+// the last one.
 type Failure struct {
-	Hash  string `json:"hash"`
-	Label string `json:"label"`
-	Point Point  `json:"point"`
-	Error string `json:"error"`
+	Hash      string  `json:"hash"`
+	Label     string  `json:"label"`
+	Point     Point   `json:"point"`
+	Error     string  `json:"error"`
+	Attempt   int     `json:"attempt"`
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 // Report summarizes one Execute call.
@@ -437,6 +445,7 @@ type Report struct {
 	Total    int       // points in the sweep
 	Ran      int       // executed this call
 	Skipped  int       // valid artifact already present
+	Canceled bool      // the context was canceled before every point was dispatched
 	Failures []Failure // failed this call
 }
 
@@ -450,6 +459,30 @@ type Options struct {
 	// from worker goroutines — it must be safe for concurrent use
 	// (Tracker.Observe is; compose consumers with Fanout).
 	Progress func(ProgressEvent)
+
+	// PointTimeout, when positive, bounds each point's execution: the
+	// scenario runs under a harness deadline of this much wall clock,
+	// and a hard backstop at ~2x abandons even a run whose engine never
+	// reaches a watchdog poll (wedged outside the dispatch loop). A
+	// timed-out point becomes an ordinary failure; the sweep continues.
+	PointTimeout time.Duration
+
+	// Retries is how many additional executions a failing point gets
+	// before it is recorded in failures.jsonl (0 = fail on the first
+	// error). Retries target transient host-level trouble; a
+	// deterministic scenario panic will simply fail Retries+1 times.
+	Retries int
+
+	// Backoff is the wait before the first retry, doubling with each
+	// subsequent one. Zero defaults to 250ms.
+	Backoff time.Duration
+
+	// Ctx, when non-nil, cancels the sweep cooperatively: once done, no
+	// new point is dispatched and no retry waits out its backoff, but
+	// in-flight points drain, failures.jsonl is flushed, and the index
+	// is rebuilt — so an interrupted sweep resumes exactly where it
+	// stopped. Nil means run to completion.
+	Ctx context.Context
 }
 
 // Execute runs every point against the lake directory layout
@@ -473,6 +506,11 @@ func Execute(points []Point, dir string, opt Options) (*Report, error) {
 		progress = func(ProgressEvent) {}
 	}
 
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
 	rep := &Report{Total: len(points)}
 	var mu sync.Mutex
 	jobs := make(chan Point)
@@ -493,13 +531,40 @@ func Execute(points []Point, dir string, opt Options) (*Report, error) {
 					continue
 				}
 				progress(ProgressEvent{Kind: EventStarted, Worker: worker, Hash: hash, Label: label})
-				start := time.Now()
-				err := runPoint(pt, path)
-				elapsed := time.Since(start)
+				var err error
+				var elapsed time.Duration
+				attempt := 0
+				for {
+					attempt++
+					start := time.Now()
+					err = runPoint(pt, path, attempt, opt.PointTimeout)
+					elapsed = time.Since(start)
+					if err == nil || attempt > opt.Retries || ctx.Err() != nil {
+						break
+					}
+					// Exponential backoff between attempts; a canceled
+					// context skips the wait and gives up on the point.
+					wait := opt.Backoff
+					if wait <= 0 {
+						wait = 250 * time.Millisecond
+					}
+					wait <<= uint(attempt - 1)
+					timer := time.NewTimer(wait)
+					select {
+					case <-ctx.Done():
+						timer.Stop()
+					case <-timer.C:
+					}
+					if ctx.Err() != nil {
+						break
+					}
+				}
 				mu.Lock()
 				if err != nil {
 					rep.Failures = append(rep.Failures, Failure{
 						Hash: hash, Label: label, Point: pt, Error: err.Error(),
+						Attempt:   attempt,
+						ElapsedMS: float64(elapsed) / float64(time.Millisecond),
 					})
 					mu.Unlock()
 					progress(ProgressEvent{Kind: EventFailed, Worker: worker, Hash: hash, Label: label,
@@ -512,8 +577,14 @@ func Execute(points []Point, dir string, opt Options) (*Report, error) {
 			}
 		}(w)
 	}
+dispatch:
 	for _, pt := range points {
-		jobs <- pt
+		select {
+		case jobs <- pt:
+		case <-ctx.Done():
+			rep.Canceled = true
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -548,18 +619,68 @@ func artifactValid(path, hash string) bool {
 	return run.Manifest.Config["scenario_hash"] == hash
 }
 
-// runPoint executes one scenario and lands its artifact atomically
-// (tmp + rename), converting panics — harness.Run panics on scenario
-// contract violations — into ordinary errors.
-func runPoint(pt Point, path string) (err error) {
+// runScenario is the harness entry point, indirected so tests can
+// substitute a hung or failing scenario without building one out of
+// simulator primitives.
+var runScenario = harness.Run
+
+// runPoint executes one scenario attempt and lands its artifact
+// atomically (tmp + rename). With a timeout it adds two layers of
+// supervision: the harness deadline watchdog kills the engine
+// cooperatively at timeout, and a hard backstop at ~2x abandons the
+// worker goroutine entirely if the run wedged somewhere the watchdog
+// cannot reach; an abandoned run is barred from landing its artifact,
+// so a timed-out point never masquerades as a completed one.
+func runPoint(pt Point, path string, attempt int, timeout time.Duration) error {
+	if timeout <= 0 {
+		return executePoint(pt, path, attempt, 0, nil)
+	}
+	backstop := 2 * timeout
+	if backstop < timeout+time.Second {
+		backstop = timeout + time.Second
+	}
+	var abandoned atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		done <- executePoint(pt, path, attempt, timeout, &abandoned)
+	}()
+	timer := time.NewTimer(backstop)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-timer.C:
+		abandoned.Store(true)
+		return fmt.Errorf("point wedged: no result after %v (deadline %v; engine watchdog unreachable)", backstop, timeout)
+	}
+}
+
+// executePoint runs the scenario, converting panics — harness.Run
+// panics on scenario contract violations, and the deadline/stall
+// watchdog panics with *harness.KilledError — into ordinary errors.
+func executePoint(pt Point, path string, attempt int, deadline time.Duration, abandoned *atomic.Bool) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("panic: %v", r)
+			if ke, ok := r.(*harness.KilledError); ok {
+				err = ke
+			} else {
+				err = fmt.Errorf("panic: %v", r)
+			}
 		}
 	}()
-	res := harness.Run(pt.Scenario())
+	sc := pt.Scenario()
+	sc.Deadline = deadline
+	if attempt > 0 {
+		// The attempt count rides in the manifest config so the lake's
+		// attempts column can report how many executions a point took.
+		sc.ManifestConfig["attempts"] = strconv.Itoa(attempt)
+	}
+	res := runScenario(sc)
 	if res.Telemetry == nil {
 		return fmt.Errorf("run produced no telemetry artifact")
+	}
+	if abandoned != nil && abandoned.Load() {
+		return fmt.Errorf("run finished after the backstop abandoned it; artifact discarded")
 	}
 	tmp := path + ".tmp"
 	if err := res.Telemetry.WriteJSONLFile(tmp); err != nil {

@@ -110,6 +110,50 @@ func TestFlapAndRecoverAllSchemes(t *testing.T) {
 	}
 }
 
+// TestFlapAndRecoverShardedSchemes re-runs the flap-and-recover table
+// on the two-shard parallel engine: faults still inject, every flow
+// still completes, and the fired fault-action log is identical to the
+// single-engine run — fault application is partitioned across shard
+// engines but the plan's schedule is position-independent. (The name
+// carries "Sharded" so the race-detector shard suite picks it up.)
+func TestFlapAndRecoverShardedSchemes(t *testing.T) {
+	for _, name := range transport.SchemeNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			run := func(shards int) *Result {
+				sc := faultScenario(Scheme(name))
+				sc.FaultPlan = flapPlan(t)
+				sc.Shards = shards
+				return Run(sc)
+			}
+			single, sharded := run(1), run(2)
+
+			if sharded.FaultDrops.Injected == 0 {
+				t.Fatal("sharded run injected no drops; fault window missed all traffic")
+			}
+			for _, r := range sharded.Flows.Records {
+				if !r.Completed {
+					t.Errorf("flow %d (%s, %dB, start %v) never completed under shards=2",
+						r.ID, r.Transport, r.Size, r.Start)
+				}
+			}
+			if len(single.Flows.Records) != len(sharded.Flows.Records) {
+				t.Errorf("flow counts diverged: %d single vs %d sharded",
+					len(single.Flows.Records), len(sharded.Flows.Records))
+			}
+			a1, a2 := single.Faults.Export(), sharded.Faults.Export()
+			if len(a1) != len(a2) {
+				t.Fatalf("fault logs diverged: %d actions single vs %d sharded", len(a1), len(a2))
+			}
+			for i := range a1 {
+				if a1[i] != a2[i] {
+					t.Fatalf("fault action %d diverged: single %+v vs sharded %+v", i, a1[i], a2[i])
+				}
+			}
+		})
+	}
+}
+
 // TestFaultedDigestDeterminism: same seed + same plan ⇒ bit-identical
 // flow digests, with at least one LinkDown/LinkUp flap and one
 // BurstLoss interval in effect (the determinism contract of the fault

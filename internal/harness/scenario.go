@@ -172,6 +172,21 @@ type Scenario struct {
 	// results: flow statistics are byte-identical with pooling on or
 	// off; it trims steady-state allocation in long runs.
 	PoolPackets bool
+
+	// Deadline, when positive, caps the run's wall-clock time: a
+	// wall-clock watchdog aborts the engine(s) when it elapses and Run
+	// panics with a *KilledError (Reason "deadline"). Zero disables.
+	// Supervision is observation-only until it trips — the watchdog
+	// never perturbs event order, so a run that finishes in time is
+	// bit-identical to an unsupervised one.
+	Deadline time.Duration
+
+	// StallTimeout, when positive, kills the run when the engine horizon
+	// (fleet-minimum on the sharded path) stops advancing for this much
+	// wall-clock time — catching both livelocks (events churning at one
+	// instant) and wedged engines. Run panics with a *KilledError
+	// (Reason "stall"). Zero disables.
+	StallTimeout time.Duration
 }
 
 // BaseScenario returns the §6.2 configuration at the given scale. Scale 1
@@ -356,6 +371,17 @@ func planWorkload(sc Scenario) *runPlan {
 		p.oracleWQ = 0.98
 	}
 	return p
+}
+
+// Flows returns the exact flow list the scenario would run — generated
+// from the workload plan (or legacy parameters) on the scenario's own
+// seeded stream, or the trace replay verbatim. Callers that need to
+// re-run a scenario with a reduced flow set (the chaos shrinker) pin the
+// original list through TraceFlows; because the workload RNG is a stream
+// separate from the engine's, the replay is bit-identical to the
+// generating run.
+func Flows(sc Scenario) []workload.FlowSpec {
+	return planWorkload(sc).flows
 }
 
 // Run executes the scenario and returns collected metrics.
@@ -600,8 +626,17 @@ func Run(sc Scenario) *Result {
 		eng.Every(every, func() { publishLive(false) })
 		eng.SetComponent(prev)
 	}
+	var wd *watchdog
+	if sc.Deadline > 0 || sc.StallTimeout > 0 {
+		w := &sim.Watch{}
+		eng.SetWatch(w)
+		wd = startWatchdog(sc.Deadline, sc.StallTimeout, w.NowPs, w.Events, w.Abort)
+	}
 	eng.Run(sc.Duration + sc.Drain)
 	res.WallClock = time.Since(wallStart)
+	if ke := wd.stop(); ke != nil {
+		panic(ke)
+	}
 	if publishLive != nil {
 		publishLive(true)
 	}
@@ -739,27 +774,35 @@ func buildManifest(sc Scenario, hosts int, probe sim.Time, res *Result, shards i
 	if sc.WorkloadPlan != nil {
 		wplanName, wplanHash = sc.WorkloadPlan.Name, sc.WorkloadPlan.Hash()
 	}
+	// Forensic retention accounting rides in the manifest so readers can
+	// tell a clean run from one whose violation list was truncated at the
+	// auditor cap (res.Forensics is assembled before the manifest).
+	vioDropped := int64(0)
+	if res.Forensics != nil {
+		vioDropped = res.Forensics.ViolationsDropped
+	}
 	return obs.Manifest{
 		Seed: sc.Seed,
 		Topology: fmt.Sprintf("clos pods=%d agg/pod=%d tor/pod=%d hosts/tor=%d cores=%d hosts=%d",
 			sc.Clos.Pods, sc.Clos.AggPerPod, sc.Clos.TorPerPod, sc.Clos.HostsPerTor, sc.Clos.Cores, hosts),
-		Scheme:           string(sc.Scheme),
-		Workload:         wl,
-		Load:             sc.Load,
-		Deployment:       sc.Deployment,
-		WQ:               sc.WQ,
-		DurationPs:       int64(sc.Duration + sc.Drain),
-		Shards:           shards,
-		SchemeOptions:    sc.schemeOptions(),
-		FaultPlan:        planName,
-		FaultPlanHash:    planHash,
-		WorkloadPlan:     wplanName,
-		WorkloadPlanHash: wplanHash,
-		Revision:         obs.RepoRevision(),
-		Config:           config,
-		WallMS:           wallMS,
-		Events:           res.Events,
-		EventsPerSec:     eps,
-		Profile:          res.Profile,
+		Scheme:            string(sc.Scheme),
+		Workload:          wl,
+		Load:              sc.Load,
+		Deployment:        sc.Deployment,
+		WQ:                sc.WQ,
+		DurationPs:        int64(sc.Duration + sc.Drain),
+		Shards:            shards,
+		SchemeOptions:     sc.schemeOptions(),
+		FaultPlan:         planName,
+		FaultPlanHash:     planHash,
+		WorkloadPlan:      wplanName,
+		WorkloadPlanHash:  wplanHash,
+		Revision:          obs.RepoRevision(),
+		Config:            config,
+		WallMS:            wallMS,
+		Events:            res.Events,
+		EventsPerSec:      eps,
+		Profile:           res.Profile,
+		ViolationsDropped: vioDropped,
 	}
 }

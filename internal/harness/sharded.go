@@ -308,10 +308,30 @@ func runSharded(sc Scenario, podShard []int) *Result {
 		}()
 	}
 
+	// Watchdog supervision: one Watch per shard engine so a kill aborts
+	// the whole fleet; progress is judged on the runtime's fleet-minimum
+	// horizon. An aborted engine still advances its clock through each
+	// round window, so the shard protocol drains normally after a kill.
+	var wd *watchdog
+	if sc.Deadline > 0 || sc.StallTimeout > 0 {
+		watches := make([]*sim.Watch, nShards)
+		for i := range engs {
+			watches[i] = &sim.Watch{}
+			engs[i].SetWatch(watches[i])
+		}
+		wd = startWatchdog(sc.Deadline, sc.StallTimeout, rt.HorizonPs, rt.EventsProcessed, func() {
+			for _, w := range watches {
+				w.Abort()
+			}
+		})
+	}
 	rt.Run(sc.Duration + sc.Drain)
 	res.WallClock = time.Since(wallStart)
 	if stopLive != nil {
 		close(stopLive)
+	}
+	if ke := wd.stop(); ke != nil {
+		panic(ke)
 	}
 	if publishLive != nil {
 		publishLive(true, mergeReadings(regs))

@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flexpass/internal/sim"
+)
+
+// waitKilled polls until the watchdog has tripped (abort called), then
+// stops it and returns the kill.
+func waitKilled(t *testing.T, wd *watchdog, aborted *atomic.Bool) *KilledError {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !aborted.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never tripped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ke := wd.stop()
+	if ke == nil {
+		t.Fatal("watchdog tripped but stop() returned nil")
+	}
+	return ke
+}
+
+// TestWatchdogDeadline: a run exceeding the wall-clock deadline is
+// killed with Reason "deadline" even while the horizon advances.
+func TestWatchdogDeadline(t *testing.T) {
+	var horizon atomic.Int64
+	var aborted atomic.Bool
+	wd := startWatchdog(30*time.Millisecond, 0,
+		func() int64 { return horizon.Add(1) }, // always advancing
+		func() uint64 { return 0 },
+		func() { aborted.Store(true) })
+	ke := waitKilled(t, wd, &aborted)
+	if ke.Reason != "deadline" {
+		t.Fatalf("kill reason %q, want deadline", ke.Reason)
+	}
+	if ke.Elapsed < 30*time.Millisecond {
+		t.Errorf("killed after %v, before the %v deadline", ke.Elapsed, 30*time.Millisecond)
+	}
+}
+
+// TestWatchdogStall: a frozen horizon trips the stall kill even while
+// events churn (livelock, not just wedge).
+func TestWatchdogStall(t *testing.T) {
+	var events atomic.Uint64
+	var aborted atomic.Bool
+	wd := startWatchdog(0, 40*time.Millisecond,
+		func() int64 { return 12345 }, // horizon frozen
+		func() uint64 { return events.Add(1000) },
+		func() { aborted.Store(true) })
+	ke := waitKilled(t, wd, &aborted)
+	if ke.Reason != "stall" {
+		t.Fatalf("kill reason %q, want stall", ke.Reason)
+	}
+	if ke.HorizonPs != 12345 {
+		t.Errorf("kill recorded horizon %d, want 12345", ke.HorizonPs)
+	}
+}
+
+// TestWatchdogAdvancingHorizonSurvives: a horizon that keeps moving
+// never trips the stall watchdog.
+func TestWatchdogAdvancingHorizonSurvives(t *testing.T) {
+	var horizon atomic.Int64
+	var aborted atomic.Bool
+	wd := startWatchdog(0, 50*time.Millisecond,
+		func() int64 { return horizon.Add(1) },
+		func() uint64 { return 0 },
+		func() { aborted.Store(true) })
+	time.Sleep(200 * time.Millisecond)
+	if ke := wd.stop(); ke != nil {
+		t.Fatalf("advancing run was killed: %v", ke)
+	}
+	if aborted.Load() {
+		t.Fatal("abort fired without a kill")
+	}
+}
+
+// TestWatchdogDisabled: both limits zero means no watchdog at all.
+func TestWatchdogDisabled(t *testing.T) {
+	if wd := startWatchdog(0, 0, nil, nil, nil); wd != nil {
+		t.Fatal("watchdog started with no limits")
+	}
+	var wd *watchdog
+	if ke := wd.stop(); ke != nil { // nil-safe stop
+		t.Fatalf("nil watchdog returned a kill: %v", ke)
+	}
+}
+
+// runExpectKilled runs the scenario expecting the watchdog to panic
+// with a *KilledError, and returns it.
+func runExpectKilled(t *testing.T, sc Scenario) (ke *KilledError) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("run finished; expected a watchdog kill")
+		}
+		var ok bool
+		if ke, ok = r.(*KilledError); !ok {
+			panic(r)
+		}
+	}()
+	Run(sc)
+	return nil
+}
+
+// TestScenarioDeadlineKillsRun: end to end on the single-engine path —
+// a scenario with a tiny wall-clock deadline dies with a typed
+// *KilledError carrying the sim-clock position it died at.
+func TestScenarioDeadlineKillsRun(t *testing.T) {
+	sc := BaseScenario(false)
+	sc.Duration = 20 * sim.Millisecond
+	sc.Drain = 50 * sim.Millisecond
+	sc.Deadline = time.Millisecond
+	ke := runExpectKilled(t, sc)
+	if ke.Reason != "deadline" {
+		t.Fatalf("kill reason %q, want deadline", ke.Reason)
+	}
+	if ke.HorizonPs <= 0 || ke.Events == 0 {
+		t.Errorf("kill carries no progress snapshot: %+v", ke)
+	}
+	var asErr *KilledError
+	if !errors.As(error(ke), &asErr) {
+		t.Error("KilledError does not satisfy errors.As")
+	}
+}
+
+// TestScenarioDeadlineKillsShardedRun: the same contract on the
+// parallel-engine path — all shard engines abort and Run panics with
+// the fleet-minimum horizon in the kill.
+func TestScenarioDeadlineKillsShardedRun(t *testing.T) {
+	sc := BaseScenario(false)
+	sc.Duration = 20 * sim.Millisecond
+	sc.Drain = 50 * sim.Millisecond
+	sc.Shards = 2
+	sc.Deadline = time.Millisecond
+	ke := runExpectKilled(t, sc)
+	if ke.Reason != "deadline" {
+		t.Fatalf("kill reason %q, want deadline", ke.Reason)
+	}
+}
+
+// TestScenarioNoWatchdogByDefault: zero limits add no watchdog and
+// change nothing about a normal run.
+func TestScenarioNoWatchdogByDefault(t *testing.T) {
+	sc := schemeDigestScenario(SchemeFlexPass)
+	res := Run(sc)
+	if len(res.Flows.Records) == 0 {
+		t.Fatal("scenario ran no flows")
+	}
+}

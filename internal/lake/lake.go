@@ -19,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
 	"flexpass/internal/obs"
@@ -69,6 +70,9 @@ type Row struct {
 	Coflows      int64   // coflow groups generated (RPC jobs, tagged incasts)
 	CoflowsDone  int64   // coflows whose every member flow completed
 	CCTP99Us     float64 // coflow completion time p99 (log-bucket bound)
+	Violations   int64   // auditor violations kept in the artifact ("forensics" violation lines)
+	VioDropped   int64   // violations discarded over the auditor retention cap (manifest violations_dropped)
+	Attempts     int64   // farm execution attempts that produced this artifact (config "attempts"; 0 = unfarmed or pre-retry)
 	Events       int64
 	WallMS       float64 // perf self-report; machine-dependent
 	EventsPerSec float64
@@ -187,6 +191,19 @@ func FromRun(r *obs.Run, file string, salvaged bool) Row {
 	row.FCTP99Us = float64(mergedQuantile(fcts, 0.99))
 	row.CCTP99Us = float64(mergedQuantile(ccts, 0.99))
 	row.FaultActions = int64(len(r.Faults))
+	for i := range r.Forensics {
+		if r.Forensics[i].Violation != nil {
+			row.Violations++
+		}
+	}
+	// A nonzero violations_dropped marks the kept violations as a
+	// truncated sample: the true count is at least Violations+VioDropped.
+	row.VioDropped = m.ViolationsDropped
+	if a := m.Config["attempts"]; a != "" {
+		if n, err := strconv.ParseInt(a, 10, 64); err == nil {
+			row.Attempts = n
+		}
+	}
 	return row
 }
 

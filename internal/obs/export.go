@@ -68,6 +68,13 @@ type Manifest struct {
 	// (when the run enabled it). Absent on unprofiled runs, so v3
 	// artifacts stay byte-compatible.
 	Profile []ComponentProfile `json:"profile,omitempty"`
+	// ViolationsDropped counts auditor violations discarded over the
+	// forensics retention cap. The artifact's forensics lines are the
+	// kept violations; a nonzero value here marks them as a truncated
+	// sample, which downstream consumers (the lake's violations_dropped
+	// column, chaos oracles) must treat as "at least". Absent (0) on
+	// clean or non-forensic runs, so older artifacts decode unchanged.
+	ViolationsDropped int64 `json:"violations_dropped,omitempty"`
 }
 
 // ComponentProfile is one engine component's dispatch accounting: how

@@ -1,0 +1,71 @@
+package obs_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flexpass/internal/lake"
+	"flexpass/internal/obs"
+)
+
+// FuzzReadJSONL drives arbitrary bytes through the artifact reader and
+// the lake's ingest path. The contract under fuzz: neither may panic,
+// and every read failure is typed — a *CorruptArtifactError carrying
+// the salvaged prefix, or the no-manifest error with a nil run. The
+// lake must either ingest a row or return an error wrapping the same
+// typed failure, never a mangled row from unrecovered damage.
+func FuzzReadJSONL(f *testing.F) {
+	// Corpus: a valid two-line artifact, truncation, mid-line damage,
+	// a bare manifest, binary garbage, and pathological JSON shapes.
+	valid := `{"type":"manifest","manifest":{"schema":4,"scheme":"flexpass","seed":1}}` + "\n" +
+		`{"type":"counter","counter":{"entity":"transport/agent","metric":"stray_packets","value":3}}` + "\n"
+	f.Add([]byte(valid))
+	f.Add([]byte(valid[:len(valid)/2]))
+	f.Add([]byte(`{"type":"manifest","manifest":{"schema":4}}` + "\n" + `{"type":"counter","counter":` + "\n"))
+	f.Add([]byte(`{"type":"manifest","manifest":{"schema":4}}`))
+	f.Add([]byte("\x00\x01\x02garbage\xff"))
+	f.Add([]byte(`{"type":"series","series":{}}` + "\n"))
+	f.Add([]byte(`{"type":123}` + "\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{"type":"manifest","manifest":{"schema":4}}` + "\n" + strings.Repeat("x", 4096) + "\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		run, err := obs.ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			var cerr *obs.CorruptArtifactError
+			switch {
+			case errors.As(err, &cerr):
+				if run == nil {
+					t.Fatalf("CorruptArtifactError without a salvaged run: %v", err)
+				}
+			case run == nil:
+				// The no-manifest (or scanner) failure: nothing salvaged.
+			default:
+				t.Fatalf("untyped read error with a non-nil run: %v", err)
+			}
+		}
+
+		p := filepath.Join(t.TempDir(), "fuzz.jsonl")
+		if werr := os.WriteFile(p, data, 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+		ix := &lake.Index{}
+		before := len(ix.Rows)
+		ingestErr := ix.IngestFile(p)
+		if ingestErr == nil && len(ix.Rows) != before+1 {
+			t.Fatalf("ingest reported success but added %d rows", len(ix.Rows)-before)
+		}
+		// An artifact the reader fully accepts must ingest; one whose
+		// damage precedes the manifest must not.
+		if err == nil && ingestErr != nil {
+			t.Fatalf("reader accepted the artifact but ingest failed: %v", ingestErr)
+		}
+		if run == nil && ingestErr == nil {
+			t.Fatalf("reader salvaged nothing but ingest produced a row")
+		}
+	})
+}

@@ -110,6 +110,11 @@ type Engine struct {
 	// fast path (no clock reads).
 	profile func(Component, time.Duration)
 
+	// watch, when set, receives periodic progress publications and is
+	// polled for aborts (see Watch). Nil keeps the dispatch loop on the
+	// unobserved fast path.
+	watch *Watch
+
 	// Processed counts events dispatched so far (for perf reporting).
 	Processed uint64
 }
@@ -271,10 +276,26 @@ func (t *Ticker) Stop() {
 // still run.
 func (e *Engine) Run(until Time) {
 	e.stopped = false
+	w := e.watch
+	if w != nil {
+		// A sticky abort makes every later Run a no-op dispatch-wise;
+		// the clock still advances to until below, so sharded windows
+		// keep their causality guarantees after a kill.
+		if w.abort.Load() {
+			e.stopped = true
+		}
+		w.publish(e.now, e.Processed)
+	}
 	for len(e.events) > 0 && !e.stopped {
 		next := e.events[0]
 		if next.at > until {
 			break
+		}
+		if w != nil && e.Processed&255 == 0 {
+			w.publish(next.at, e.Processed)
+			if w.abort.Load() {
+				break
+			}
 		}
 		e.popMin()
 		e.now = next.at
@@ -297,6 +318,9 @@ func (e *Engine) Run(until Time) {
 	}
 	if e.now < until {
 		e.now = until
+	}
+	if w != nil {
+		w.publish(e.now, e.Processed)
 	}
 }
 

@@ -1,0 +1,51 @@
+package sim
+
+import "sync/atomic"
+
+// Watch is an externally observable window onto a running engine: the
+// dispatch loop periodically publishes its clock and event count into
+// atomic cells, and polls an abort flag, so a monitor goroutine can both
+// see whether the engine is making progress and kill a wedged or
+// livelocked run without any channel handshake on the hot path.
+//
+// A Watch is installed with Engine.SetWatch before Run. The engine only
+// touches it every 256 dispatched events (plus once at Run entry and
+// exit), so the cost with a watch installed is a masked counter test per
+// event; with no watch installed the dispatch loop is unchanged.
+//
+// Abort is honored even when the simulated clock is not advancing (a
+// same-instant event storm): the poll is keyed on events dispatched, not
+// time. After an abort, Run still advances the clock to its `until`
+// argument on exit, which keeps the sharded round protocol's causality
+// guarantees intact — an aborted shard engine simply dispatches nothing
+// in later windows.
+type Watch struct {
+	now    atomic.Int64
+	events atomic.Uint64
+	abort  atomic.Bool
+}
+
+// NowPs returns the most recently published engine clock, in picoseconds.
+func (w *Watch) NowPs() int64 { return w.now.Load() }
+
+// Events returns the most recently published dispatched-event count.
+func (w *Watch) Events() uint64 { return w.events.Load() }
+
+// Abort asks the engine to stop dispatching. The engine notices at its
+// next poll point (within 256 events). Abort is sticky: once set, every
+// subsequent Run call returns without dispatching, which is what lets a
+// single flag kill a sharded run that executes as many short windows.
+func (w *Watch) Abort() { w.abort.Store(true) }
+
+// Aborted reports whether Abort has been called.
+func (w *Watch) Aborted() bool { return w.abort.Load() }
+
+func (w *Watch) publish(now Time, events uint64) {
+	w.now.Store(int64(now))
+	w.events.Store(events)
+}
+
+// SetWatch installs w as the engine's progress/abort cell; nil removes it
+// and restores the unobserved fast path. The watch pointer is captured at
+// Run entry, so install it before starting the run.
+func (e *Engine) SetWatch(w *Watch) { e.watch = w }

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWatchPublishes: the engine publishes clock and event counts into
+// the watch at Run boundaries, so an external monitor sees progress
+// without touching engine internals.
+func TestWatchPublishes(t *testing.T) {
+	e := NewEngine(1)
+	w := &Watch{}
+	e.SetWatch(w)
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.At(20, func() { fired++ })
+	e.Run(100)
+	if fired != 2 {
+		t.Fatalf("dispatched %d events, want 2", fired)
+	}
+	if got := w.NowPs(); got != 100 {
+		t.Errorf("watch clock = %d, want 100 (Run exit publishes `until`)", got)
+	}
+	if got := w.Events(); got != 2 {
+		t.Errorf("watch events = %d, want 2", got)
+	}
+}
+
+// TestWatchAbortStopsLivelock: a handler that perpetually reschedules
+// itself at the same instant never lets Run(until) return on its own.
+// The watch's abort must break the loop from another goroutine — this
+// is exactly the harness stall-watchdog's kill path.
+func TestWatchAbortStopsLivelock(t *testing.T) {
+	e := NewEngine(1)
+	w := &Watch{}
+	e.SetWatch(w)
+	var loop func()
+	loop = func() { e.At(5, loop) } // same-instant self-reschedule
+	e.At(5, loop)
+
+	done := make(chan struct{})
+	go func() {
+		e.Run(1000)
+		close(done)
+	}()
+	// Wait until the livelock is demonstrably spinning, then abort.
+	deadline := time.After(5 * time.Second)
+	for w.Events() < 10_000 {
+		select {
+		case <-deadline:
+			t.Fatal("livelock never spun up")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	w.Abort()
+	select {
+	case <-done:
+	case <-deadline:
+		t.Fatal("abort did not stop the livelocked engine")
+	}
+	if !w.Aborted() {
+		t.Error("watch lost its abort flag")
+	}
+	if e.Now() != 1000 {
+		t.Errorf("aborted Run left clock at %v, want 1000 (shard causality requires the clock to advance)", e.Now())
+	}
+}
+
+// TestWatchAbortSticky: once aborted, every later Run dispatches
+// nothing but still advances the clock to `until` — an aborted shard
+// engine must keep satisfying the round protocol's time guarantees.
+func TestWatchAbortSticky(t *testing.T) {
+	e := NewEngine(1)
+	w := &Watch{}
+	e.SetWatch(w)
+	w.Abort()
+	fired := false
+	e.At(10, func() { fired = true })
+	e.Run(50)
+	if fired {
+		t.Error("aborted engine dispatched an event")
+	}
+	if e.Now() != 50 {
+		t.Errorf("aborted Run left clock at %v, want 50", e.Now())
+	}
+	e.Run(80)
+	if e.Now() != 80 {
+		t.Errorf("second aborted Run left clock at %v, want 80", e.Now())
+	}
+}
